@@ -1,0 +1,114 @@
+// qnsolve is a standalone calculator for the paper's analytic layer: it
+// evaluates the M/M/1/k station and fleet model for given parameters, or
+// runs Algorithm 1 to size a fleet for a QoS contract.
+//
+// Usage:
+//
+//	qnsolve -lambda 1200 -tm 0.105 -ts 0.250 -m 153        # evaluate a fleet
+//	qnsolve -size -lambda 1200 -tm 0.105 -ts 0.250 -util 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"vmprov"
+	"vmprov/internal/provision"
+	"vmprov/internal/queueing"
+)
+
+func main() {
+	var (
+		lambda  = flag.Float64("lambda", 0, "aggregate arrival rate (req/s)")
+		tm      = flag.Float64("tm", 0, "mean request execution time (s)")
+		ts      = flag.Float64("ts", 0, "QoS maximum response time (s); with -tm it defines k")
+		k       = flag.Int("k", 0, "per-instance queue size (0 = derive from ts/tm)")
+		m       = flag.Int("m", 1, "number of instances to evaluate")
+		size    = flag.Bool("size", false, "run Algorithm 1 instead of evaluating a fixed m")
+		sweep   = flag.String("sweep", "", "capacity plan sweep: \"lo:hi:step\" arrival rates; prints m(λ) per Algorithm 1 and brute force")
+		rej     = flag.Float64("rej", 0, "QoS maximum rejection rate")
+		rejTol  = flag.Float64("rejtol", 1e-3, "modeling tolerance on the rejection target")
+		util    = flag.Float64("util", 0.8, "minimum utilization threshold")
+		maxVMs  = flag.Int("maxvms", 10000, "MaxVMs ceiling for Algorithm 1")
+		current = flag.Int("current", 1, "current fleet size for Algorithm 1")
+	)
+	flag.Parse()
+
+	if *lambda < 0 || *tm <= 0 || *ts <= 0 {
+		fmt.Fprintln(os.Stderr, "qnsolve: need -lambda ≥ 0, -tm > 0, -ts > 0")
+		os.Exit(2)
+	}
+	if *k <= 0 {
+		*k = queueing.QueueSize(*ts, *tm)
+	}
+	qos := vmprov.QoS{Ts: *ts, MaxRejection: *rej, RejectionTol: *rejTol, MinUtilization: *util}
+
+	if *sweep != "" {
+		lo, hi, step, err := parseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qnsolve:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("k = %d; per-instance headroom ρ ≤ %.4f at rejection tol %.3g\n",
+			*k, queueing.RhoForBlocking(*k, math.Max(*rej+*rejTol, 1e-9)), *rej+*rejTol)
+		fmt.Printf("%12s %12s %12s %12s\n", "lambda", "m(Alg1)", "m(minimal)", "util@Alg1")
+		current := *current
+		for l := lo; l <= hi+1e-12; l += step {
+			in := vmprov.SizingInput{Lambda: l, Tm: *tm, K: *k, Current: current, MaxVMs: *maxVMs, QoS: qos}
+			m := vmprov.Algorithm1(in)
+			opt := provision.OptimalSize(in)
+			f := queueing.Fleet{Lambda: l, Tm: *tm, K: *k, M: m}
+			fmt.Printf("%12.4g %12d %12d %12.4f\n", l, m, opt, f.OfferedUtilization())
+			current = m // the next step starts from the previous plan
+		}
+		return
+	}
+
+	if *size {
+		in := vmprov.SizingInput{
+			Lambda: *lambda, Tm: *tm, K: *k,
+			Current: *current, MaxVMs: *maxVMs, QoS: qos,
+		}
+		got := vmprov.Algorithm1(in)
+		fmt.Printf("k = %d (Equation 1)\n", *k)
+		fmt.Printf("m = %d instances (Algorithm 1)\n", got)
+		fmt.Printf("smallest QoS-feasible m = %d (brute force)\n", provision.OptimalSize(in))
+		report(queueing.Fleet{Lambda: *lambda, Tm: *tm, K: *k, M: got})
+		return
+	}
+	fmt.Printf("k = %d (Equation 1)\n", *k)
+	report(queueing.Fleet{Lambda: *lambda, Tm: *tm, K: *k, M: *m})
+}
+
+// parseSweep parses "lo:hi:step".
+func parseSweep(s string) (lo, hi, step float64, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("sweep %q must be lo:hi:step", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("sweep %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	if vals[2] <= 0 || vals[1] < vals[0] {
+		return 0, 0, 0, fmt.Errorf("sweep %q: need hi ≥ lo and step > 0", s)
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+func report(f queueing.Fleet) {
+	st := f.Station()
+	fmt.Printf("per-instance: λ=%.6g req/s  ρ=%.4f  Pr(Sk)=%.6g\n",
+		st.Lambda, st.Rho(), st.Blocking())
+	fmt.Printf("fleet: response=%.6gs  rejection=%.6g  offered util=%.4f  carried util=%.4f  throughput=%.6g req/s\n",
+		f.ResponseTime(), f.SystemRejection(), f.OfferedUtilization(),
+		f.CarriedUtilization(), f.Throughput())
+}

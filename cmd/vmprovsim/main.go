@@ -1,0 +1,137 @@
+// vmprovsim runs the paper's evaluation scenarios and prints the
+// Figure 5/6 panel data.
+//
+// Usage:
+//
+//	vmprovsim -scenario web -scale 0.1 -reps 3 -all
+//	vmprovsim -scenario scientific -reps 10 -all -csv
+//	vmprovsim -scenario scientific -policy adaptive -series
+//	vmprovsim -scenario web -scale 0.1 -policy static -vms 10
+//
+// -all evaluates the adaptive policy against every static baseline of the
+// scenario (the full figure); otherwise a single policy runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmprov"
+	"vmprov/internal/report"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "scientific", "web or scientific")
+		scale    = flag.Float64("scale", 0, "load scale; 0 picks the scenario default (web 0.1, scientific 1)")
+		reps     = flag.Int("reps", 3, "replications per policy (paper: 10)")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		workers  = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
+		all      = flag.Bool("all", false, "run adaptive + every static baseline (full figure)")
+		reportMD = flag.String("report", "", "with -all: also write a Markdown report to this file")
+		policy   = flag.String("policy", "adaptive", "adaptive or static (single-policy mode)")
+		vms      = flag.Int("vms", 0, "fleet size for -policy static")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
+		series   = flag.Bool("series", false, "emit the instance-count time series (single-policy mode)")
+		traceOut = flag.String("trace", "", "write a JSONL event trace of one replication to this file (single-policy mode)")
+		horizon  = flag.Float64("horizon", 0, "override simulated seconds (0 = scenario default)")
+	)
+	flag.Parse()
+
+	var sc vmprov.Scenario
+	switch *scenario {
+	case "web":
+		if *scale == 0 {
+			*scale = 0.1
+		}
+		sc = vmprov.Web(*scale)
+	case "scientific", "sci":
+		if *scale == 0 {
+			*scale = 1
+		}
+		sc = vmprov.Sci(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "vmprovsim: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if *horizon > 0 {
+		sc.Horizon = *horizon
+	}
+
+	if *all {
+		results := vmprov.RunAll(sc, *reps, *seed, *workers)
+		if *reportMD != "" {
+			_, series := vmprov.RunOnce(sc, vmprov.Adaptive(), *seed, vmprov.RunOptions{TrackSeries: true})
+			md := report.Markdown(report.Meta{
+				Title:    fmt.Sprintf("%s scenario report", sc.Name),
+				Scenario: sc.Name, Scale: sc.Scale, Horizon: sc.Horizon,
+				Reps: *reps, Seed: *seed,
+			}, results, series)
+			if err := os.WriteFile(*reportMD, []byte(md), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "report → %s\n", *reportMD)
+		}
+		if *csv {
+			fmt.Print(vmprov.ResultsCSV(results))
+			return
+		}
+		caption := fmt.Sprintf("%s scenario, scale %g, %d replication(s) averaged (paper Figure %s)",
+			sc.Name, sc.Scale, *reps, map[string]string{"web": "5", "scientific": "6"}[sc.Name])
+		fmt.Print(vmprov.FigureTable(caption, results))
+		return
+	}
+
+	var pol vmprov.Policy
+	switch *policy {
+	case "adaptive":
+		pol = vmprov.Adaptive()
+	case "static":
+		if *vms <= 0 {
+			fmt.Fprintln(os.Stderr, "vmprovsim: -policy static needs -vms N")
+			os.Exit(2)
+		}
+		pol = vmprov.Static(*vms)
+	default:
+		fmt.Fprintf(os.Stderr, "vmprovsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w := vmprov.NewTraceWriter(f)
+		res, _ := vmprov.RunOnce(sc, pol, *seed, vmprov.RunOptions{Tracer: w})
+		fmt.Fprintf(os.Stderr, "%s\ntrace: %d events → %s\n", res, w.Count(), *traceOut)
+		if err := w.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim: trace write:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *series {
+		res, pts := vmprov.RunOnce(sc, pol, *seed, vmprov.RunOptions{TrackSeries: true})
+		fmt.Println("t_seconds,instances")
+		for _, p := range pts {
+			fmt.Printf("%.0f,%d\n", p.T, p.N)
+		}
+		fmt.Fprintln(os.Stderr, res)
+		return
+	}
+	agg, runs := vmprov.Run(sc, pol, *reps, *seed, *workers)
+	if *csv {
+		fmt.Print(vmprov.ResultsCSV(append(runs, agg)))
+		return
+	}
+	for i, r := range runs {
+		fmt.Printf("rep %d: %s\n", i, r)
+	}
+	fmt.Printf("mean:  %s\n", agg)
+}

@@ -1,0 +1,65 @@
+// wlgen dumps the workload models' arrival-rate series as CSV — the data
+// behind the paper's Figure 3 (web, one week) and Figure 4 (scientific,
+// one day).
+//
+// Usage:
+//
+//	wlgen -scenario web                 # analytic mean rate, 60 s steps
+//	wlgen -scenario scientific -mode observed -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmprov"
+	"vmprov/internal/experiment"
+	"vmprov/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "web", "web or scientific")
+		scale    = flag.Float64("scale", 1, "load scale")
+		mode     = flag.String("mode", "mean", "mean (analytic curve) or observed (one simulated realization, binned)")
+		step     = flag.Float64("step", 60, "sampling step / bin width in seconds")
+		horizon  = flag.Float64("horizon", 0, "series length in seconds (0 = figure default: web one week, scientific one day)")
+		seed     = flag.Uint64("seed", 1, "seed for -mode observed")
+	)
+	flag.Parse()
+
+	var src vmprov.Source
+	switch *scenario {
+	case "web":
+		if *horizon == 0 {
+			*horizon = workload.Week
+		}
+		src = workload.NewWeb(*scale)
+	case "scientific", "sci":
+		if *horizon == 0 {
+			*horizon = workload.Day
+		}
+		src = workload.NewScientific(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "wlgen: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "mean":
+		fmt.Println("t_seconds,requests_per_second")
+		for t := 0.0; t <= *horizon; t += *step {
+			fmt.Printf("%.0f,%.6f\n", t, src.MeanRate(t))
+		}
+	case "observed":
+		bins := experiment.ObservedRateSeries(src, *seed, *horizon, *step)
+		fmt.Println("t_seconds,requests_per_second")
+		for i, b := range bins {
+			fmt.Printf("%.0f,%.6f\n", float64(i)**step, b)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "wlgen: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,72 @@
+package vmprov
+
+import (
+	"vmprov/internal/cloud"
+	"vmprov/internal/metrics"
+	"vmprov/internal/provision"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+// Deployment wires the full stack — simulator, cloud provider, metrics,
+// provisioner — for a custom experiment outside the two paper scenarios.
+// Supply your own Source, Analyzer (or a static fleet), and QoS contract.
+type Deployment struct {
+	Sim         *sim.Sim
+	Cloud       Provider
+	Provisioner *provision.Provisioner
+
+	cfg Config
+	col *metrics.Collector
+}
+
+// NewDeployment builds a deployment on the given provider — a Datacenter
+// or a Federation; nil uses the paper's default data center (1000 hosts ×
+// 8 cores).
+func NewDeployment(cfg Config, p Provider) *Deployment {
+	s := sim.New()
+	if p == nil || p == (*cloud.Datacenter)(nil) {
+		p = cloud.NewDefault()
+	}
+	col := metrics.NewCollector(cfg.QoS.Ts)
+	return &Deployment{
+		Sim:         s,
+		Cloud:       p,
+		Provisioner: provision.NewProvisioner(s, p, cfg, col),
+		cfg:         cfg,
+		col:         col,
+	}
+}
+
+// UseAdaptive attaches the paper's adaptive controller driven by the
+// given analyzer.
+func (d *Deployment) UseAdaptive(an Analyzer) {
+	(&provision.Adaptive{Analyzer: an}).Attach(d.Sim, d.Provisioner)
+}
+
+// UseStatic provisions a fixed fleet of m instances at time zero.
+func (d *Deployment) UseStatic(m int) {
+	(&provision.Static{M: m}).Attach(d.Sim, d.Provisioner)
+}
+
+// Start begins generating the workload, feeding arrivals through
+// admission control (and, for observing analyzers, into the analyzer).
+func (d *Deployment) Start(src Source, seed uint64, an Analyzer) {
+	emit := d.Provisioner.Submit
+	if obs, ok := an.(workload.ObservingAnalyzer); ok {
+		emit = func(q Request) {
+			obs.Observe(q.Arrival)
+			d.Provisioner.Submit(q)
+		}
+	}
+	src.Start(d.Sim, stats.NewRNG(seed), emit)
+}
+
+// Finish runs the simulation to the horizon and returns the metrics
+// labeled with the given policy name.
+func (d *Deployment) Finish(policy string, horizon float64) Result {
+	d.Sim.RunUntil(horizon)
+	d.Provisioner.Shutdown(horizon)
+	return d.col.Result(policy, horizon)
+}

@@ -1,0 +1,83 @@
+// multitier exercises the composite-services extension (the paper's
+// future work): requests traverse a three-stage pipeline — web front-end,
+// application logic, cloud storage — where the first two tiers autoscale
+// with the paper's mechanism and the storage tier is a fixed-concurrency
+// service. The end-to-end response budget is split across tiers.
+package main
+
+import (
+	"fmt"
+
+	"vmprov"
+)
+
+func main() {
+	s := vmprov.NewSim()
+	r := vmprov.NewRNG(7)
+
+	stageCfg := func(ts, tr float64) vmprov.Config {
+		return vmprov.Config{
+			QoS:       vmprov.QoS{Ts: ts, MaxRejection: 0, RejectionTol: 1e-3, MinUtilization: 0.8},
+			NominalTr: tr,
+			MaxVMs:    300,
+		}
+	}
+	p := vmprov.NewPipeline(s, nil, 1.5, []vmprov.Stage{
+		{
+			Name: "web",
+			Cfg:  stageCfg(0.25, 0.1),
+			Controller: &vmprov.AdaptiveController{
+				Analyzer: &vmprov.WindowAnalyzer{Interval: 120, Windows: 3, Safety: 1.4},
+			},
+		},
+		{
+			Name: "app",
+			Cfg:  stageCfg(0.75, 0.3),
+			Controller: &vmprov.AdaptiveController{
+				Analyzer: &vmprov.WindowAnalyzer{Interval: 120, Windows: 3, Safety: 1.4},
+			},
+		},
+		{
+			// Storage: a fixed-concurrency back-end service. Its fleet
+			// size is the storage system's parallelism, not autoscaled.
+			Name:       "storage",
+			Cfg:        stageCfg(0.5, 0.05),
+			Controller: &vmprov.StaticController{M: 4},
+		},
+	})
+
+	// Diurnal-ish load: 20 req/s for an hour, 60 req/s surge, back down.
+	const horizon = 3 * 3600
+	rates := []struct{ from, rate float64 }{{0, 20}, {3600, 60}, {7200, 25}}
+	var pump func()
+	pump = func() {
+		now := s.Now()
+		if now >= horizon {
+			return
+		}
+		rate := rates[0].rate
+		for _, seg := range rates {
+			if now >= seg.from {
+				rate = seg.rate
+			}
+		}
+		// Per-tier demands: 100 ms web, 300 ms app, 50 ms storage, each
+		// with the paper's 0–10% jitter.
+		p.Submit([]float64{
+			0.1 * (1 + 0.1*r.Float64()),
+			0.3 * (1 + 0.1*r.Float64()),
+			0.05 * (1 + 0.1*r.Float64()),
+		}, 0, 0)
+		s.Schedule(r.ExpFloat64()/rate, pump)
+	}
+	s.Schedule(0.01, pump)
+
+	res := p.Finish(horizon + 1800)
+	fmt.Print(res)
+	fmt.Printf("\nweb fleet peaked at %d instances, app fleet at %d; storage stayed at %d\n",
+		findMax(res, 0), findMax(res, 1), res.Stages[2].MaxInstances)
+}
+
+func findMax(r vmprov.PipelineResult, stage int) int {
+	return r.Stages[stage].MaxInstances
+}

@@ -1,0 +1,26 @@
+// Quickstart: run the paper's scientific scenario once under the adaptive
+// provisioning policy and print the Section V-A metrics.
+package main
+
+import (
+	"fmt"
+
+	"vmprov"
+)
+
+func main() {
+	// The scientific scenario at scale 1 is the paper's exact setup:
+	// one simulated day of the Bag-of-Tasks workload (≈8286 requests),
+	// QoS Ts = 700 s, zero rejection target, 80% utilization floor.
+	scenario := vmprov.Sci(1)
+
+	result, _ := vmprov.RunOnce(scenario, vmprov.Adaptive(), 42, vmprov.RunOptions{})
+	fmt.Println("adaptive :", result)
+
+	// Compare with the paper's peak-sized static baseline.
+	static, _ := vmprov.RunOnce(scenario, vmprov.Static(75), 42, vmprov.RunOptions{})
+	fmt.Println("static-75:", static)
+
+	fmt.Printf("\nadaptive uses %.0f%% of the static fleet's VM hours at equal QoS\n",
+		100*result.VMHours/static.VMHours)
+}

@@ -1,0 +1,47 @@
+// webautoscale reproduces the paper's web (Wikipedia) scenario in a
+// CI-friendly reduction — scale 0.1, one simulated day — and shows how the
+// adaptive mechanism rides the diurnal load curve while static fleets
+// either reject requests or idle.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"vmprov"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "load scale (1 = the paper's ≈500M requests/week)")
+	days := flag.Float64("days", 1, "simulated days")
+	flag.Parse()
+
+	sc := vmprov.Web(*scale)
+	sc.Horizon = *days * vmprov.Day
+
+	adaptive, series := vmprov.RunOnce(sc, vmprov.Adaptive(), 7, vmprov.RunOptions{TrackSeries: true})
+	peak, _ := vmprov.RunOnce(sc, vmprov.Static(15), 7, vmprov.RunOptions{})  // 150 at paper scale
+	small, _ := vmprov.RunOnce(sc, vmprov.Static(10), 7, vmprov.RunOptions{}) // 100 at paper scale
+
+	fmt.Print(vmprov.FigureTable(
+		fmt.Sprintf("web scenario, scale %g, %g day(s) — paper Figure 5 analogue", *scale, *days),
+		[]vmprov.Result{adaptive, small, peak}))
+
+	fmt.Println("\nadaptive fleet size over the day (hourly):")
+	nextHour := 0.0
+	for _, p := range series {
+		if p.T >= nextHour {
+			fmt.Printf("  %5.1f h: %s\n", p.T/3600, bar(p.N))
+			nextHour += 3600
+		}
+	}
+}
+
+// bar renders a small ASCII bar for n instances.
+func bar(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return fmt.Sprintf("%3d %s", n, b)
+}

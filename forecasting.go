@@ -1,0 +1,41 @@
+package vmprov
+
+import (
+	"vmprov/internal/forecast"
+	"vmprov/internal/workload"
+)
+
+// Forecasting toolkit (the paper's ARMAX/QRSM future-work direction),
+// re-exported for custom analyzers and offline workload studies.
+type (
+	// Forecaster predicts the next value of a series.
+	Forecaster = forecast.Forecaster
+	// ForecastScore summarizes a forecaster's backtest accuracy.
+	ForecastScore = forecast.Score
+	// Holt is double exponential smoothing (level + trend).
+	Holt = forecast.Holt
+	// SeasonalNaive repeats the value one period back.
+	SeasonalNaive = forecast.SeasonalNaive
+	// MovingAverage predicts the recent-window mean.
+	MovingAverage = forecast.MovingAverage
+	// ARForecaster is ordinary-least-squares autoregression.
+	ARForecaster = forecast.AR
+	// NaiveForecaster repeats the last observation.
+	NaiveForecaster = forecast.Naive
+	// ForecastAnalyzer adapts any Forecaster into a workload analyzer.
+	ForecastAnalyzer = workload.ForecastAnalyzer
+)
+
+// Backtest scores a forecaster's one-step-ahead accuracy on a series.
+func Backtest(f Forecaster, series []float64, warmup int) (ForecastScore, error) {
+	return forecast.Backtest(f, series, warmup)
+}
+
+// CompareForecasters backtests several forecasters on one series,
+// returning scores sorted by ascending MAE.
+func CompareForecasters(series []float64, warmup int, fs ...Forecaster) ([]ForecastScore, error) {
+	return forecast.Compare(series, warmup, fs...)
+}
+
+// ForecastTable renders backtest scores for reports.
+func ForecastTable(scores []ForecastScore) string { return forecast.Table(scores) }

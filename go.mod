@@ -1,0 +1,3 @@
+module vmprov
+
+go 1.22

@@ -1,0 +1,230 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"vmprov/internal/cloud"
+	"vmprov/internal/sim"
+	"vmprov/internal/workload"
+)
+
+func testVM(id int, capacity float64) cloud.VM {
+	return cloud.VM{ID: id, Host: 0, Spec: cloud.VMSpec{Cores: 1, RAMMB: 2048, Capacity: capacity}}
+}
+
+func newActive(s *sim.Sim, k int, onC func(Completion)) *Instance {
+	in := NewInstance(s, testVM(1, 1), k, onC)
+	in.Activate()
+	return in
+}
+
+func TestServiceFIFO(t *testing.T) {
+	s := sim.New()
+	var done []uint64
+	in := newActive(s, 3, func(c Completion) { done = append(done, c.Req.ID) })
+	in.Accept(workload.Request{ID: 1, Arrival: 0, Service: 2})
+	in.Accept(workload.Request{ID: 2, Arrival: 0, Service: 1})
+	in.Accept(workload.Request{ID: 3, Arrival: 0, Service: 1})
+	if !in.Full() || in.Len() != 3 {
+		t.Fatalf("len=%d full=%v", in.Len(), in.Full())
+	}
+	s.Run()
+	if len(done) != 3 || done[0] != 1 || done[1] != 2 || done[2] != 3 {
+		t.Fatalf("completion order %v, want FIFO", done)
+	}
+	if s.Now() != 4 {
+		t.Fatalf("back-to-back service should end at 4, got %v", s.Now())
+	}
+	if in.Served != 3 {
+		t.Fatalf("served = %d", in.Served)
+	}
+	if math.Abs(in.BusyTime-4) > 1e-12 {
+		t.Fatalf("busy time = %v, want 4", in.BusyTime)
+	}
+}
+
+func TestCompletionTimestamps(t *testing.T) {
+	s := sim.New()
+	var comps []Completion
+	in := newActive(s, 2, func(c Completion) { comps = append(comps, c) })
+	s.At(1, func() { in.Accept(workload.Request{ID: 1, Arrival: 1, Service: 3}) })
+	s.At(2, func() { in.Accept(workload.Request{ID: 2, Arrival: 2, Service: 1}) })
+	s.Run()
+	if len(comps) != 2 {
+		t.Fatalf("completions: %d", len(comps))
+	}
+	// First: starts at 1, ends at 4. Second: waits, starts at 4, ends 5.
+	if comps[0].Start != 1 || comps[0].Finish != 4 {
+		t.Fatalf("first completion %+v", comps[0])
+	}
+	if comps[1].Start != 4 || comps[1].Finish != 5 {
+		t.Fatalf("second completion %+v", comps[1])
+	}
+}
+
+func TestCapacityScalesService(t *testing.T) {
+	s := sim.New()
+	var finish float64
+	in := NewInstance(s, testVM(1, 2.0), 2, func(c Completion) { finish = c.Finish })
+	in.Activate()
+	in.Accept(workload.Request{ID: 1, Arrival: 0, Service: 3})
+	s.Run()
+	if math.Abs(finish-1.5) > 1e-12 {
+		t.Fatalf("double-capacity VM finished at %v, want 1.5", finish)
+	}
+}
+
+func TestAcceptFullPanics(t *testing.T) {
+	s := sim.New()
+	in := newActive(s, 1, func(Completion) {})
+	in.Accept(workload.Request{ID: 1, Service: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Accept on full instance did not panic")
+		}
+	}()
+	in.Accept(workload.Request{ID: 2, Service: 1})
+}
+
+func TestAcceptBootingPanics(t *testing.T) {
+	s := sim.New()
+	in := NewInstance(s, testVM(1, 1), 2, func(Completion) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Accept on booting instance did not panic")
+		}
+	}()
+	in.Accept(workload.Request{ID: 1, Service: 1})
+}
+
+func TestDrainLifecycle(t *testing.T) {
+	s := sim.New()
+	var drained bool
+	var in *Instance
+	in = NewInstance(s, testVM(1, 1), 3, func(c Completion) {
+		if c.Drained {
+			drained = true
+			if !c.Inst.Idle() {
+				t.Fatal("drained completion on non-idle instance")
+			}
+		}
+	})
+	in.Activate()
+	in.Accept(workload.Request{ID: 1, Service: 1})
+	in.Accept(workload.Request{ID: 2, Service: 1})
+	in.MarkDraining()
+	if in.State() != Draining {
+		t.Fatalf("state = %v", in.State())
+	}
+	s.Run()
+	if !drained {
+		t.Fatal("drain completion not reported")
+	}
+	in.Destroy()
+	if in.State() != Destroyed || in.DestroyedAt != 2 {
+		t.Fatalf("destroy accounting wrong: %v at %v", in.State(), in.DestroyedAt)
+	}
+	if got := in.Lifetime(100); got != 2 {
+		t.Fatalf("lifetime = %v, want 2", got)
+	}
+}
+
+func TestReactivate(t *testing.T) {
+	s := sim.New()
+	var drainedCount int
+	in := newActive(s, 3, func(c Completion) {
+		if c.Drained {
+			drainedCount++
+		}
+	})
+	in.Accept(workload.Request{ID: 1, Service: 5})
+	in.MarkDraining()
+	in.Reactivate()
+	if in.State() != Active {
+		t.Fatalf("state after reactivate = %v", in.State())
+	}
+	s.Run()
+	if drainedCount != 0 {
+		t.Fatal("reactivated instance still reported drain completion")
+	}
+}
+
+func TestMarkDrainingIdlePanics(t *testing.T) {
+	s := sim.New()
+	in := newActive(s, 2, func(Completion) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkDraining on idle instance did not panic")
+		}
+	}()
+	in.MarkDraining()
+}
+
+func TestDestroyBusyPanics(t *testing.T) {
+	s := sim.New()
+	in := newActive(s, 2, func(Completion) {})
+	in.Accept(workload.Request{ID: 1, Service: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Destroy of busy instance did not panic")
+		}
+	}()
+	in.Destroy()
+}
+
+func TestDoubleDestroyPanics(t *testing.T) {
+	s := sim.New()
+	in := newActive(s, 2, func(Completion) {})
+	in.Destroy()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Destroy did not panic")
+		}
+	}()
+	in.Destroy()
+}
+
+func TestBusyNowPartial(t *testing.T) {
+	s := sim.New()
+	in := newActive(s, 2, func(Completion) {})
+	s.At(1, func() { in.Accept(workload.Request{ID: 1, Service: 10}) })
+	s.RunUntil(5)
+	// 4 seconds into a 10-second service.
+	if got := in.BusyNow(5); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("BusyNow = %v, want 4", got)
+	}
+	if in.BusyTime != 0 {
+		t.Fatalf("completed busy time should still be 0, got %v", in.BusyTime)
+	}
+}
+
+func TestBadConstructionPanics(t *testing.T) {
+	s := sim.New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("k=0 did not panic")
+			}
+		}()
+		NewInstance(s, testVM(1, 1), 0, func(Completion) {})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("capacity 0 did not panic")
+			}
+		}()
+		NewInstance(s, testVM(1, 0), 1, func(Completion) {})
+	}()
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		Booting: "booting", Active: "active", Draining: "draining", Destroyed: "destroyed",
+	} {
+		if st.String() != want {
+			t.Fatalf("State(%d).String() = %q", int(st), st.String())
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package app
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vmprov/internal/cloud"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+// refQueue is an executable reference model of the instance's queueing
+// discipline: non-preemptive service, waiting set ordered by (class desc,
+// arrival order asc).
+type refQueue struct {
+	k       int
+	serving *workload.Request
+	waiting []workload.Request
+}
+
+func (r *refQueue) len() int {
+	n := len(r.waiting)
+	if r.serving != nil {
+		n++
+	}
+	return n
+}
+
+func (r *refQueue) accept(q workload.Request) {
+	if r.serving == nil {
+		r.serving = &q
+		return
+	}
+	r.waiting = append(r.waiting, q)
+	// Stable order by class descending (sort.SliceStable keeps FIFO
+	// within a class).
+	sort.SliceStable(r.waiting, func(i, j int) bool {
+		return r.waiting[i].Class > r.waiting[j].Class
+	})
+}
+
+func (r *refQueue) complete() (done workload.Request) {
+	done = *r.serving
+	r.serving = nil
+	if len(r.waiting) > 0 {
+		next := r.waiting[0]
+		r.waiting = r.waiting[1:]
+		r.serving = &next
+	}
+	return done
+}
+
+// TestInstanceMatchesReferenceModel drives random accept/complete
+// sequences with random classes through both the real instance and the
+// reference model and requires identical service order.
+func TestInstanceMatchesReferenceModel(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, opsRaw uint8) bool {
+		k := int(kRaw)%6 + 1
+		ops := int(opsRaw)%120 + 10
+		rng := stats.NewRNG(seed)
+
+		s := sim.New()
+		var served []uint64
+		inst := NewInstance(s, cloud.VM{ID: 1, Spec: cloud.VMSpec{Cores: 1, RAMMB: 1, Capacity: 1}}, k,
+			func(c Completion) { served = append(served, c.Req.ID) })
+		inst.Activate()
+
+		ref := &refQueue{k: k}
+		var refServed []uint64
+
+		// All requests take exactly 1 time unit, so completions happen
+		// deterministically between arrival batches.
+		id := uint64(0)
+		now := 0.0
+		for op := 0; op < ops; op++ {
+			// Randomly either inject a request (if not full) or let time
+			// pass so one service completes.
+			if rng.Float64() < 0.6 && inst.Len() < k {
+				id++
+				q := workload.Request{ID: id, Arrival: now, Service: 1, Class: rng.IntN(3)}
+				inst.Accept(q)
+				ref.accept(q)
+				if inst.Len() != ref.len() {
+					return false
+				}
+			} else if ref.serving != nil {
+				// Advance virtual time by exactly one service.
+				now += 1
+				s.RunUntil(now)
+				refServed = append(refServed, ref.complete().ID)
+			}
+		}
+		// Drain both.
+		s.Run()
+		for ref.serving != nil {
+			refServed = append(refServed, ref.complete().ID)
+		}
+		if len(served) != len(refServed) {
+			return false
+		}
+		for i := range served {
+			if served[i] != refServed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictionMatchesModel: evicting the lowest waiter never touches the
+// in-service request and preserves the order of the rest.
+func TestEvictionMatchesModel(t *testing.T) {
+	s := sim.New()
+	inst := NewInstance(s, cloud.VM{ID: 1, Spec: cloud.VMSpec{Cores: 1, RAMMB: 1, Capacity: 1}}, 5,
+		func(Completion) {})
+	inst.Activate()
+	inst.Accept(workload.Request{ID: 1, Service: 10, Class: 0}) // serving
+	inst.Accept(workload.Request{ID: 2, Service: 1, Class: 2})
+	inst.Accept(workload.Request{ID: 3, Service: 1, Class: 1})
+	inst.Accept(workload.Request{ID: 4, Service: 1, Class: 1})
+
+	idx, class, ok := inst.LowestWaiting()
+	if !ok || class != 1 {
+		t.Fatalf("lowest waiting class = %d ok=%v, want 1", class, ok)
+	}
+	evicted := inst.EvictWaiting(idx)
+	if evicted.ID != 4 {
+		t.Fatalf("evicted %d, want the most recent lowest-class waiter 4", evicted.ID)
+	}
+	if inst.Len() != 3 {
+		t.Fatalf("len after eviction = %d", inst.Len())
+	}
+	// Second eviction takes ID 3; third takes ID 2; then nothing waits.
+	idx, _, _ = inst.LowestWaiting()
+	if got := inst.EvictWaiting(idx); got.ID != 3 {
+		t.Fatalf("second eviction %d, want 3", got.ID)
+	}
+	idx, class, ok = inst.LowestWaiting()
+	if !ok || class != 2 {
+		t.Fatalf("third lowest = class %d ok=%v", class, ok)
+	}
+	if got := inst.EvictWaiting(idx); got.ID != 2 {
+		t.Fatalf("third eviction %d, want 2", got.ID)
+	}
+	if _, _, ok := inst.LowestWaiting(); ok {
+		t.Fatal("empty queue reports a waiter")
+	}
+}
+
+func TestEvictOutOfRangePanics(t *testing.T) {
+	s := sim.New()
+	inst := NewInstance(s, cloud.VM{ID: 1, Spec: cloud.VMSpec{Cores: 1, RAMMB: 1, Capacity: 1}}, 2,
+		func(Completion) {})
+	inst.Activate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range eviction did not panic")
+		}
+	}()
+	inst.EvictWaiting(0)
+}

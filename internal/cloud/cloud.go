@@ -1,0 +1,247 @@
+// Package cloud models the IaaS layer of the paper's setup: one data
+// center of physical hosts onto which virtual machines are placed by a
+// resource provisioner. The paper's simulated data center has 1000 hosts,
+// each with two quad-core processors and 16 GB of RAM; application VMs
+// take one core and 2 GB, are pinned to an idle core (no time-sharing),
+// and are placed on the host with the fewest running VMs ("a simple
+// load-balance policy for resource provisioning").
+//
+// Resource provisioning — the VM-to-host mapping — is exactly the part of
+// the stack the paper treats as opaque to the application provisioner, so
+// this package exposes only allocate/release and aggregate capacity.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Paper defaults (Section V-A).
+const (
+	DefaultHosts     = 1000
+	DefaultHostCores = 8     // two quad-core processors
+	DefaultHostRAM   = 16384 // MB
+	DefaultVMCores   = 1
+	DefaultVMRAM     = 2048 // MB
+)
+
+// ErrNoCapacity reports that no host can fit the requested VM.
+var ErrNoCapacity = errors.New("cloud: no host has capacity for the requested VM")
+
+// ErrUnknownVM reports a release of a VM the data center does not know.
+var ErrUnknownVM = errors.New("cloud: unknown VM")
+
+// HostSpec describes one physical machine.
+type HostSpec struct {
+	Cores int
+	RAMMB int
+}
+
+// VMSpec describes the resources one VM instance consumes and its relative
+// service capacity (1.0 = the paper's baseline instance; other values
+// support the heterogeneous-capacity extension).
+type VMSpec struct {
+	Cores    int
+	RAMMB    int
+	Capacity float64
+}
+
+// DefaultVMSpec returns the paper's application VM: one core, 2 GB,
+// baseline capacity.
+func DefaultVMSpec() VMSpec {
+	return VMSpec{Cores: DefaultVMCores, RAMMB: DefaultVMRAM, Capacity: 1}
+}
+
+// VM identifies one provisioned virtual machine.
+type VM struct {
+	ID   int
+	Host int
+	Spec VMSpec
+}
+
+type host struct {
+	spec      HostSpec
+	usedCores int
+	usedRAM   int
+	vms       int
+}
+
+func (h *host) fits(spec VMSpec) bool {
+	return h.usedCores+spec.Cores <= h.spec.Cores && h.usedRAM+spec.RAMMB <= h.spec.RAMMB
+}
+
+// Provider abstracts whatever supplies VMs to the application
+// provisioner — a single data center or a federation of clouds
+// (the paper's P = (c₁, …, cₙ)). now is the current virtual time,
+// needed for energy accounting.
+type Provider interface {
+	Provision(now float64, spec VMSpec) (VM, error)
+	Release(now float64, id int) error
+}
+
+// Placement selects the resource provisioner's VM-to-host mapping
+// policy. The paper's setup uses LeastLoaded ("new VMs are created, if
+// possible, in the host with fewer running virtualized application
+// instances"); the alternatives support the placement ablation.
+type Placement int
+
+// Placement policies.
+const (
+	// LeastLoaded picks the host with the fewest running VMs (paper
+	// default), spreading load.
+	LeastLoaded Placement = iota
+	// FirstFit picks the lowest-index host with room, consolidating VMs
+	// onto few hosts (the energy-friendly policy).
+	FirstFit
+	// RoundRobin cycles through hosts regardless of load.
+	RoundRobin
+)
+
+// Datacenter is one IaaS cloud c_i: a fixed pool of hosts with a
+// configurable VM placement policy (least-loaded by default, as in the
+// paper).
+type Datacenter struct {
+	hosts     []host
+	nextID    int
+	placed    map[int]VM
+	power     *powerMeter // nil = energy metering disabled
+	placement Placement
+	rrCursor  int
+}
+
+// New creates a data center of n identical hosts.
+func New(n int, spec HostSpec) *Datacenter {
+	if n <= 0 || spec.Cores <= 0 || spec.RAMMB <= 0 {
+		panic(fmt.Sprintf("cloud: invalid datacenter shape n=%d spec=%+v", n, spec))
+	}
+	dc := &Datacenter{hosts: make([]host, n), placed: make(map[int]VM)}
+	for i := range dc.hosts {
+		dc.hosts[i].spec = spec
+	}
+	return dc
+}
+
+// NewDefault creates the paper's data center: 1000 hosts × (8 cores,
+// 16 GB).
+func NewDefault() *Datacenter {
+	return New(DefaultHosts, HostSpec{Cores: DefaultHostCores, RAMMB: DefaultHostRAM})
+}
+
+// Provision places a VM on the host with the fewest running VMs that can
+// fit it (ties broken by lowest host index) and returns its handle. now
+// is the current virtual time, used for energy accounting.
+func (dc *Datacenter) Provision(now float64, spec VMSpec) (VM, error) {
+	if spec.Cores <= 0 || spec.RAMMB <= 0 || spec.Capacity <= 0 {
+		return VM{}, fmt.Errorf("cloud: invalid VM spec %+v", spec)
+	}
+	best := dc.pick(spec)
+	if best == -1 {
+		return VM{}, ErrNoCapacity
+	}
+	h := &dc.hosts[best]
+	if dc.power != nil {
+		dc.power.advance(now)
+		prevVMs, prevFrac := h.vms, h.frac()
+		defer func() { dc.power.hostChanged(prevVMs, prevFrac, h.vms, h.frac()) }()
+	}
+	h.usedCores += spec.Cores
+	h.usedRAM += spec.RAMMB
+	h.vms++
+	dc.nextID++
+	vm := VM{ID: dc.nextID, Host: best, Spec: spec}
+	dc.placed[vm.ID] = vm
+	return vm, nil
+}
+
+// Release frees the resources of a provisioned VM.
+func (dc *Datacenter) Release(now float64, id int) error {
+	vm, ok := dc.placed[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	delete(dc.placed, id)
+	h := &dc.hosts[vm.Host]
+	if dc.power != nil {
+		dc.power.advance(now)
+		prevVMs, prevFrac := h.vms, h.frac()
+		defer func() { dc.power.hostChanged(prevVMs, prevFrac, h.vms, h.frac()) }()
+	}
+	h.usedCores -= vm.Spec.Cores
+	h.usedRAM -= vm.Spec.RAMMB
+	h.vms--
+	return nil
+}
+
+// SetPlacement switches the VM placement policy. Call before the first
+// provisioning action.
+func (dc *Datacenter) SetPlacement(p Placement) { dc.placement = p }
+
+// pick returns the target host index under the active policy, or −1.
+func (dc *Datacenter) pick(spec VMSpec) int {
+	switch dc.placement {
+	case FirstFit:
+		for i := range dc.hosts {
+			if dc.hosts[i].fits(spec) {
+				return i
+			}
+		}
+		return -1
+	case RoundRobin:
+		n := len(dc.hosts)
+		for off := 0; off < n; off++ {
+			i := (dc.rrCursor + off) % n
+			if dc.hosts[i].fits(spec) {
+				dc.rrCursor = (i + 1) % n
+				return i
+			}
+		}
+		return -1
+	default: // LeastLoaded
+		best := -1
+		for i := range dc.hosts {
+			h := &dc.hosts[i]
+			if !h.fits(spec) {
+				continue
+			}
+			if best == -1 || h.vms < dc.hosts[best].vms {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+var _ Provider = (*Datacenter)(nil)
+
+// Running returns the number of currently provisioned VMs.
+func (dc *Datacenter) Running() int { return len(dc.placed) }
+
+// Hosts returns the number of physical hosts.
+func (dc *Datacenter) Hosts() int { return len(dc.hosts) }
+
+// Capacity returns how many additional VMs of the given spec could be
+// provisioned right now.
+func (dc *Datacenter) Capacity(spec VMSpec) int {
+	total := 0
+	for i := range dc.hosts {
+		h := dc.hosts[i]
+		byCores := (h.spec.Cores - h.usedCores) / spec.Cores
+		byRAM := (h.spec.RAMMB - h.usedRAM) / spec.RAMMB
+		if byRAM < byCores {
+			byCores = byRAM
+		}
+		if byCores > 0 {
+			total += byCores
+		}
+	}
+	return total
+}
+
+// HostLoad returns the number of VMs on each host, for placement tests.
+func (dc *Datacenter) HostLoad() []int {
+	load := make([]int, len(dc.hosts))
+	for i := range dc.hosts {
+		load[i] = dc.hosts[i].vms
+	}
+	return load
+}

@@ -1,0 +1,95 @@
+package cloud
+
+import "fmt"
+
+// Federation is the paper's Cloud computing system P = (c₁, c₂, …, cₙ):
+// a set of IaaS clouds the application provider can draw VMs from. VMs
+// are placed in the member with the most spare capacity for the requested
+// spec (ties broken by member order), so load spreads across providers.
+// Federation implements Provider, so it can back a Provisioner directly.
+type Federation struct {
+	members []*Datacenter
+	nextID  int
+	placed  map[int]fedVM
+}
+
+type fedVM struct {
+	member  int
+	localID int
+}
+
+// NewFederation groups the given data centers. At least one is required.
+func NewFederation(members ...*Datacenter) *Federation {
+	if len(members) == 0 {
+		panic("cloud: federation needs at least one member")
+	}
+	return &Federation{members: members, placed: make(map[int]fedVM)}
+}
+
+// Members returns the number of member clouds.
+func (f *Federation) Members() int { return len(f.members) }
+
+// Member returns the i-th member data center.
+func (f *Federation) Member(i int) *Datacenter { return f.members[i] }
+
+// Provision places the VM in the member with the most remaining capacity
+// for the spec. The returned VM carries a federation-scoped ID; Host is
+// the member index (the per-member host is an infrastructure detail the
+// application provisioner never sees, per the paper's information model).
+func (f *Federation) Provision(now float64, spec VMSpec) (VM, error) {
+	best, bestCap := -1, 0
+	for i, dc := range f.members {
+		if c := dc.Capacity(spec); c > bestCap {
+			best, bestCap = i, c
+		}
+	}
+	if best == -1 {
+		return VM{}, ErrNoCapacity
+	}
+	vm, err := f.members[best].Provision(now, spec)
+	if err != nil {
+		return VM{}, err
+	}
+	f.nextID++
+	f.placed[f.nextID] = fedVM{member: best, localID: vm.ID}
+	return VM{ID: f.nextID, Host: best, Spec: spec}, nil
+}
+
+// Release frees a federation-provisioned VM.
+func (f *Federation) Release(now float64, id int) error {
+	fv, ok := f.placed[id]
+	if !ok {
+		return fmt.Errorf("%w: federation id %d", ErrUnknownVM, id)
+	}
+	delete(f.placed, id)
+	return f.members[fv.member].Release(now, fv.localID)
+}
+
+// Running returns the total number of VMs across members.
+func (f *Federation) Running() int {
+	n := 0
+	for _, dc := range f.members {
+		n += dc.Running()
+	}
+	return n
+}
+
+// Capacity returns the total remaining capacity across members.
+func (f *Federation) Capacity(spec VMSpec) int {
+	n := 0
+	for _, dc := range f.members {
+		n += dc.Capacity(spec)
+	}
+	return n
+}
+
+// EnergyKWh sums member energy consumption through time now.
+func (f *Federation) EnergyKWh(now float64) float64 {
+	var e float64
+	for _, dc := range f.members {
+		e += dc.EnergyKWh(now)
+	}
+	return e
+}
+
+var _ Provider = (*Federation)(nil)

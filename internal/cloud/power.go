@@ -1,0 +1,81 @@
+package cloud
+
+// PowerModel is a linear host power model: an active host (one hosting at
+// least one VM) draws IdleW plus (PeakW−IdleW) scaled by its core
+// utilization; hosts with no VMs are powered off. This supports the
+// paper's motivation of "reduced financial and environmental costs":
+// fewer provisioned VM hours concentrate load on fewer active hosts.
+type PowerModel struct {
+	IdleW float64 // active-host idle draw (watts)
+	PeakW float64 // fully-loaded draw (watts)
+}
+
+// DefaultPowerModel is a typical dual-socket 2011-era server: 175 W idle,
+// 250 W at full load.
+func DefaultPowerModel() PowerModel { return PowerModel{IdleW: 175, PeakW: 250} }
+
+// powerMeter integrates data-center power over time. Incremental state:
+// the number of active hosts and the sum over hosts of their core
+// utilization fraction.
+type powerMeter struct {
+	model       PowerModel
+	activeHosts int
+	sumFrac     float64 // Σ usedCores/h.cores over active hosts
+	lastT       float64
+	joules      float64
+}
+
+// watts returns the instantaneous draw.
+func (m *powerMeter) watts() float64 {
+	return m.model.IdleW*float64(m.activeHosts) + (m.model.PeakW-m.model.IdleW)*m.sumFrac
+}
+
+// advance integrates up to time t.
+func (m *powerMeter) advance(t float64) {
+	if t > m.lastT {
+		m.joules += m.watts() * (t - m.lastT)
+		m.lastT = t
+	}
+}
+
+// hostChanged updates the meter after a host's VM count or core usage
+// changed. prevVMs/prevFrac describe the host before the change.
+func (m *powerMeter) hostChanged(prevVMs int, prevFrac float64, nowVMs int, nowFrac float64) {
+	if prevVMs > 0 {
+		m.activeHosts--
+		m.sumFrac -= prevFrac
+	}
+	if nowVMs > 0 {
+		m.activeHosts++
+		m.sumFrac += nowFrac
+	}
+}
+
+// SetPowerModel enables energy metering with the given model. Call before
+// the first provisioning action.
+func (dc *Datacenter) SetPowerModel(pm PowerModel) {
+	dc.power = &powerMeter{model: pm}
+}
+
+// EnergyKWh returns the energy consumed through time now (seconds), in
+// kilowatt-hours. Zero when metering is disabled.
+func (dc *Datacenter) EnergyKWh(now float64) float64 {
+	if dc.power == nil {
+		return 0
+	}
+	dc.power.advance(now)
+	return dc.power.joules / 3.6e6
+}
+
+// PowerWatts returns the instantaneous draw, for inspection.
+func (dc *Datacenter) PowerWatts() float64 {
+	if dc.power == nil {
+		return 0
+	}
+	return dc.power.watts()
+}
+
+// frac returns h's core-utilization fraction.
+func (h *host) frac() float64 {
+	return float64(h.usedCores) / float64(h.spec.Cores)
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"vmprov/internal/metrics"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+// FigureTable renders one scenario's results as the text analogue of the
+// paper's Figure 5/6 panels: (a) min/max instances, (b) rejection and
+// utilization rates, (c) VM hours, (d) response time mean ± σ.
+func FigureTable(caption string, results []metrics.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", caption)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tmin inst\tmax inst\trejection\tutilization\tVM hours\tresp mean\tresp sd\tviolations\tserved")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.4f\t%.4f\t%.1f\t%.4g\t%.3g\t%d\t%d\n",
+			r.Policy, r.MinInstances, r.MaxInstances, r.RejectionRate,
+			r.Utilization, r.VMHours, r.MeanResponse, r.StdResponse,
+			r.Violations, r.Accepted)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// ResultsCSV renders results as CSV with a header, one row per policy.
+func ResultsCSV(results []metrics.Result) string {
+	var b strings.Builder
+	b.WriteString("policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.3f,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+			r.Policy, r.MinInstances, r.MaxInstances, r.RejectionRate,
+			r.Utilization, r.VMHours, r.EnergyKWh, r.MeanResponse, r.StdResponse,
+			r.P50Response, r.P95Response, r.P99Response,
+			r.Violations, r.Accepted, r.Rejected)
+	}
+	return b.String()
+}
+
+// MeanRateSeries samples a source's analytic mean arrival rate every step
+// seconds over [0, horizon] — the curves of the paper's Figures 3 and 4.
+func MeanRateSeries(src workload.Source, horizon, step float64) []metrics.SeriesPoint {
+	var pts []metrics.SeriesPoint
+	for t := 0.0; t <= horizon; t += step {
+		pts = append(pts, metrics.SeriesPoint{T: t, N: int(src.MeanRate(t) + 0.5)})
+	}
+	return pts
+}
+
+// ObservedRateSeries simulates the source once and bins actual arrivals,
+// returning arrivals-per-second averaged over each bin — the jagged
+// realized version of Figures 3 and 4.
+func ObservedRateSeries(src workload.Source, seed uint64, horizon, bin float64) []float64 {
+	s := sim.New()
+	n := int(horizon/bin) + 1
+	bins := make([]float64, n)
+	src.Start(s, stats.NewRNG(seed), func(q workload.Request) {
+		i := int(q.Arrival / bin)
+		if i >= 0 && i < n {
+			bins[i]++
+		}
+	})
+	s.RunUntil(horizon)
+	for i := range bins {
+		bins[i] /= bin
+	}
+	return bins
+}
+
+// SeriesCSV renders a rate or instance-count series as two-column CSV.
+func SeriesCSV(header string, pts []metrics.SeriesPoint) string {
+	var b strings.Builder
+	b.WriteString(header + "\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%.0f,%d\n", p.T, p.N)
+	}
+	return b.String()
+}

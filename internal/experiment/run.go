@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"vmprov/internal/cloud"
+	"vmprov/internal/metrics"
+	"vmprov/internal/provision"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/trace"
+	"vmprov/internal/workload"
+)
+
+// Policy names a provisioning policy and knows how to build its controller
+// for one replication.
+type Policy struct {
+	Name string
+	// Build returns the controller and, for adaptive policies, the
+	// analyzer (so observing analyzers can be fed the arrival stream).
+	Build func(sc Scenario, src workload.Source) (provision.Controller, workload.Analyzer)
+}
+
+// AdaptivePolicy is the paper's mechanism with the scenario's analyzer.
+func AdaptivePolicy() Policy {
+	return Policy{
+		Name: "Adaptive",
+		Build: func(sc Scenario, src workload.Source) (provision.Controller, workload.Analyzer) {
+			an := sc.NewAnalyzer(src)
+			return &provision.Adaptive{Analyzer: an}, an
+		},
+	}
+}
+
+// AdaptiveWithAnalyzer runs the paper's mechanism with a custom analyzer
+// factory — used by the prediction-ablation benches and the
+// custom-workload example.
+func AdaptiveWithAnalyzer(name string, newAnalyzer func(sc Scenario, src workload.Source) workload.Analyzer) Policy {
+	return Policy{
+		Name: name,
+		Build: func(sc Scenario, src workload.Source) (provision.Controller, workload.Analyzer) {
+			an := newAnalyzer(sc, src)
+			return &provision.Adaptive{Analyzer: an}, an
+		},
+	}
+}
+
+// StaticPolicy is the paper's baseline: a fixed fleet of m instances.
+func StaticPolicy(m int) Policy {
+	return Policy{
+		Name: (&provision.Static{M: m}).Name(),
+		Build: func(Scenario, workload.Source) (provision.Controller, workload.Analyzer) {
+			return &provision.Static{M: m}, nil
+		},
+	}
+}
+
+// RunOptions tune a replication run.
+type RunOptions struct {
+	TrackSeries bool           // record the instance-count time series
+	Tracer      trace.Recorder // structured event tracing (nil = off)
+}
+
+// RunOnce executes one seeded replication of a policy over a scenario and
+// returns its metrics. The run is deterministic in (scenario, policy,
+// seed).
+func RunOnce(sc Scenario, pol Policy, seed uint64, opts RunOptions) (metrics.Result, []metrics.SeriesPoint) {
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	s := sim.New()
+	dc := cloud.NewDefault()
+	dc.SetPlacement(sc.Placement)
+	dc.SetPowerModel(cloud.DefaultPowerModel())
+	col := metrics.NewCollector(sc.Cfg.QoS.Ts)
+	col.TrackSeries = opts.TrackSeries
+	p := provision.NewProvisioner(s, dc, sc.Cfg, col)
+
+	if opts.Tracer != nil {
+		p.SetTracer(opts.Tracer)
+	}
+	src := sc.NewSource()
+	ctrl, analyzer := pol.Build(sc, src)
+	if ad, ok := ctrl.(*provision.Adaptive); ok && opts.Tracer != nil {
+		ad.Tracer = opts.Tracer
+	}
+	ctrl.Attach(s, p)
+
+	emit := p.Submit
+	if obs, ok := analyzer.(workload.ObservingAnalyzer); ok {
+		emit = func(q workload.Request) {
+			obs.Observe(q.Arrival)
+			p.Submit(q)
+		}
+	}
+	src.Start(s, stats.NewRNG(seed), emit)
+
+	s.RunUntil(sc.Horizon)
+	p.Shutdown(sc.Horizon)
+	res := col.Result(pol.Name, sc.Horizon)
+	res.EnergyKWh = dc.EnergyKWh(sc.Horizon)
+	return res, col.Series
+}
+
+// Run executes reps seeded replications (seeds base, base+1, ...) in
+// parallel across at most workers goroutines (0 = GOMAXPROCS) and returns
+// the per-replication results plus their aggregate — the paper reports
+// the average over 10 repetitions.
+func Run(sc Scenario, pol Policy, reps int, baseSeed uint64, workers int) (agg metrics.Result, runs []metrics.Result) {
+	if reps < 1 {
+		reps = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	runs = make([]metrics.Result, reps)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < reps; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			runs[i], _ = RunOnce(sc, pol, baseSeed+uint64(i), RunOptions{})
+		}(i)
+	}
+	wg.Wait()
+	return metrics.Aggregate(runs), runs
+}
+
+// RunAll evaluates the adaptive policy and every static baseline of the
+// scenario, returning aggregated results in presentation order (Adaptive
+// first, then Static-* ascending) — one full panel row set of the paper's
+// Figure 5 or 6.
+func RunAll(sc Scenario, reps int, baseSeed uint64, workers int) []metrics.Result {
+	policies := []Policy{AdaptivePolicy()}
+	for _, m := range sc.StaticFleets {
+		policies = append(policies, StaticPolicy(m))
+	}
+	results := make([]metrics.Result, len(policies))
+	for i, pol := range policies {
+		results[i], _ = Run(sc, pol, reps, baseSeed, workers)
+	}
+	return results
+}

@@ -1,0 +1,138 @@
+// Package experiment defines the paper's two evaluation scenarios (web and
+// scientific), runs seeded replications of any provisioning policy over
+// them — in parallel across replications — and formats the resulting
+// tables and figure data (Figures 3–6 of the paper).
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"vmprov/internal/cloud"
+	"vmprov/internal/provision"
+	"vmprov/internal/workload"
+)
+
+// Scenario is one evaluation setup: a workload model, the analyzer the
+// adaptive policy uses on it, the QoS contract, and the static baseline
+// fleet sizes of the paper.
+type Scenario struct {
+	Name    string
+	Scale   float64 // load scale: 1 = the paper's full intensity
+	Horizon float64 // simulated seconds per replication
+	Cfg     provision.Config
+
+	// NewSource builds a fresh workload source for one replication.
+	NewSource func() workload.Source
+	// NewAnalyzer builds the adaptive policy's analyzer for a fresh
+	// source.
+	NewAnalyzer func(src workload.Source) workload.Analyzer
+
+	// StaticFleets lists the paper's static baseline sizes, already
+	// scaled to this scenario's Scale.
+	StaticFleets []int
+
+	// Placement selects the data center's VM-to-host policy (paper
+	// default: least-loaded).
+	Placement cloud.Placement
+}
+
+// scaled rounds a paper-scale fleet size to the scenario scale, at least 1.
+func scaled(m int, scale float64) int {
+	v := int(math.Round(float64(m) * scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Web returns the paper's web scenario (Section V-B1): one week of the
+// Wikipedia-derived workload; QoS Ts = 250 ms, no rejection allowed, 80%
+// minimum utilization; static baselines of 50–150 instances. At scale 1 a
+// replication generates ≈500 M requests; see DESIGN.md §3 for the
+// scale-invariance argument behind running reduced scales.
+func Web(scale float64) Scenario {
+	if scale <= 0 {
+		scale = 1
+	}
+	sc := Scenario{
+		Name:    "web",
+		Scale:   scale,
+		Horizon: workload.Week,
+		Cfg: provision.Config{
+			QoS: provision.QoS{
+				Ts:             0.250,
+				MaxRejection:   0,
+				RejectionTol:   1e-3,
+				MinUtilization: 0.80,
+			},
+			NominalTr: 0.100,
+			MaxVMs:    maxVMs(200, scale),
+			VMSpec:    cloud.DefaultVMSpec(),
+		},
+		NewSource: func() workload.Source { return workload.NewWeb(scale) },
+	}
+	sc.NewAnalyzer = func(src workload.Source) workload.Analyzer {
+		return &workload.WebAnalyzer{Model: src.(*workload.Web), Horizon: sc.Horizon}
+	}
+	for _, m := range []int{50, 75, 100, 125, 150} {
+		sc.StaticFleets = append(sc.StaticFleets, scaled(m, scale))
+	}
+	return sc
+}
+
+// Sci returns the paper's scientific scenario (Section V-B2): one day of
+// the Bag-of-Tasks workload; QoS Ts = 700 s, no rejection allowed, 80%
+// minimum utilization; static baselines of 15–75 instances.
+func Sci(scale float64) Scenario {
+	if scale <= 0 {
+		scale = 1
+	}
+	sc := Scenario{
+		Name:    "scientific",
+		Scale:   scale,
+		Horizon: workload.Day,
+		Cfg: provision.Config{
+			QoS: provision.QoS{
+				Ts:             700,
+				MaxRejection:   0,
+				RejectionTol:   1e-3,
+				MinUtilization: 0.80,
+			},
+			NominalTr: 300,
+			MaxVMs:    maxVMs(120, scale),
+			VMSpec:    cloud.DefaultVMSpec(),
+		},
+		NewSource: func() workload.Source { return workload.NewScientific(scale) },
+	}
+	sc.NewAnalyzer = func(src workload.Source) workload.Analyzer {
+		a := workload.NewSciAnalyzer(src.(*workload.Scientific))
+		a.Horizon = sc.Horizon
+		return a
+	}
+	for _, m := range []int{15, 30, 45, 60, 75} {
+		sc.StaticFleets = append(sc.StaticFleets, scaled(m, scale))
+	}
+	return sc
+}
+
+// maxVMs scales the contract ceiling, keeping a floor comfortably above
+// any fleet the scenario can need.
+func maxVMs(paperCeil int, scale float64) int {
+	v := int(math.Ceil(float64(paperCeil) * scale))
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// Validate reports scenario wiring errors.
+func (sc Scenario) Validate() error {
+	if sc.NewSource == nil || sc.NewAnalyzer == nil {
+		return fmt.Errorf("experiment: scenario %q missing source or analyzer factory", sc.Name)
+	}
+	if sc.Horizon <= 0 {
+		return fmt.Errorf("experiment: scenario %q has non-positive horizon", sc.Name)
+	}
+	return sc.Cfg.Validate()
+}

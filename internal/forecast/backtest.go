@@ -1,0 +1,82 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Score summarizes a forecaster's one-step-ahead accuracy on a series.
+type Score struct {
+	Name  string
+	MAE   float64 // mean absolute error
+	RMSE  float64 // root mean squared error
+	MAPE  float64 // mean absolute percentage error (over non-zero truth)
+	Steps int
+}
+
+// Backtest scores a forecaster on a series: at each step t ≥ warmup it
+// predicts x[t] from x[:t], then observes x[t]. warmup observations are
+// fed without scoring.
+func Backtest(f Forecaster, series []float64, warmup int) (Score, error) {
+	if len(series) < warmup+2 {
+		return Score{}, ErrSeries
+	}
+	if warmup < 1 {
+		warmup = 1
+	}
+	for _, x := range series[:warmup] {
+		f.Observe(x)
+	}
+	var absSum, sqSum, pctSum float64
+	pctN := 0
+	steps := 0
+	for _, truth := range series[warmup:] {
+		pred := f.Predict()
+		err := pred - truth
+		absSum += math.Abs(err)
+		sqSum += err * err
+		if truth != 0 {
+			pctSum += math.Abs(err / truth)
+			pctN++
+		}
+		f.Observe(truth)
+		steps++
+	}
+	s := Score{
+		Name:  f.Name(),
+		MAE:   absSum / float64(steps),
+		RMSE:  math.Sqrt(sqSum / float64(steps)),
+		Steps: steps,
+	}
+	if pctN > 0 {
+		s.MAPE = pctSum / float64(pctN)
+	}
+	return s, nil
+}
+
+// Compare backtests several forecasters on the same series and returns
+// scores sorted by ascending MAE.
+func Compare(series []float64, warmup int, fs ...Forecaster) ([]Score, error) {
+	scores := make([]Score, 0, len(fs))
+	for _, f := range fs {
+		s, err := Backtest(f, series, warmup)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, s)
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].MAE < scores[j].MAE })
+	return scores, nil
+}
+
+// Table renders scores for reports.
+func Table(scores []Score) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %8s\n", "forecaster", "MAE", "RMSE", "MAPE")
+	for _, s := range scores {
+		fmt.Fprintf(&b, "%-16s %10.4f %10.4f %7.1f%%\n", s.Name, s.MAE, s.RMSE, 100*s.MAPE)
+	}
+	return b.String()
+}

@@ -1,0 +1,302 @@
+// Package metrics collects the paper's output metrics (Section V-A):
+// average response time of accepted requests and its standard deviation,
+// minimum and maximum number of application instances running at a time,
+// VM hours, the number of requests whose response time violated QoS, the
+// percentage of rejected requests, and the resource utilization rate
+// (busy time over VM hours).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+// Collector accumulates one simulation run's metrics. Create it with
+// NewCollector.
+type Collector struct {
+	ts float64 // QoS response-time target for violation counting
+
+	responses stats.Welford    // response times (finish − arrival) of accepted requests
+	respHist  *stats.Histogram // response-time distribution for percentiles
+	execs     stats.Welford    // execution times (finish − start)
+	waits     stats.Welford    // queueing delays (start − arrival)
+	accepted  uint64
+	rejected  uint64
+	violated  uint64
+	missed    uint64 // deadline misses (SLA extension)
+
+	classes map[int]*classStats // per-priority-class accounting
+
+	instances   stats.TimeWeighted // running-instance count over time
+	everScaled  bool
+	vmSeconds   float64 // Σ lifetimes of finalized instances
+	busySeconds float64 // Σ busy time of finalized instances
+
+	// Optional time series of the running-instance count, for plotting.
+	TrackSeries bool
+	Series      []SeriesPoint
+}
+
+// SeriesPoint is one step of the running-instance count signal.
+type SeriesPoint struct {
+	T float64
+	N int
+}
+
+// NewCollector creates a collector that counts responses above ts as QoS
+// violations.
+func NewCollector(ts float64) *Collector {
+	// Admission control bounds accepted responses near k·Tr ≤ Ts·(1+jitter),
+	// so [0, 4·Ts) with 2048 buckets resolves percentiles to ≈0.2% of Ts.
+	return &Collector{
+		ts:       ts,
+		respHist: stats.NewHistogram(0, 4*ts, 2048),
+		classes:  make(map[int]*classStats),
+	}
+}
+
+// classStats accumulates one priority class's view of the run.
+type classStats struct {
+	accepted  uint64
+	rejected  uint64
+	displaced uint64
+	missed    uint64
+	responses stats.Welford
+}
+
+func (c *Collector) class(class int) *classStats {
+	cs := c.classes[class]
+	if cs == nil {
+		cs = &classStats{}
+		c.classes[class] = cs
+	}
+	return cs
+}
+
+// Complete records one served request.
+func (c *Collector) Complete(req workload.Request, start, finish float64) {
+	c.accepted++
+	resp := finish - req.Arrival
+	c.responses.Add(resp)
+	c.respHist.Add(resp)
+	c.execs.Add(finish - start)
+	c.waits.Add(start - req.Arrival)
+	if resp > c.ts {
+		c.violated++
+	}
+	cs := c.class(req.Class)
+	cs.accepted++
+	cs.responses.Add(resp)
+	if req.Deadline > 0 && finish > req.Deadline {
+		c.missed++
+		cs.missed++
+	}
+}
+
+// Reject records one request turned away by admission control.
+func (c *Collector) Reject(req workload.Request) {
+	c.rejected++
+	c.class(req.Class).rejected++
+}
+
+// Displace records a waiting request evicted by a higher-priority arrival
+// (SLA extension): it counts as rejected, tagged separately per class.
+func (c *Collector) Displace(req workload.Request) {
+	c.rejected++
+	cs := c.class(req.Class)
+	cs.rejected++
+	cs.displaced++
+}
+
+// SetInstances records that n instances are running at time t.
+func (c *Collector) SetInstances(t float64, n int) {
+	c.instances.Set(t, float64(n))
+	c.everScaled = true
+	if c.TrackSeries {
+		c.Series = append(c.Series, SeriesPoint{T: t, N: n})
+	}
+}
+
+// InstanceRetired folds one instance's final accounting (lifetime and
+// busy seconds) into the VM-hours and utilization totals. Call it at
+// destruction and, for instances alive at the end of the run, at
+// finalization time.
+func (c *Collector) InstanceRetired(lifetime, busy float64) {
+	c.vmSeconds += lifetime
+	c.busySeconds += busy
+}
+
+// Result produces the final metrics for a run that ended at time end.
+type Result struct {
+	Policy   string  // label, e.g. "Adaptive" or "Static-100"
+	Duration float64 // simulated seconds
+
+	Accepted       uint64
+	Rejected       uint64
+	Violations     uint64 // accepted requests with response > Ts
+	DeadlineMisses uint64 // accepted requests finishing past their deadline
+
+	RejectionRate float64 // rejected / offered
+	MeanResponse  float64 // average response time of accepted requests
+	StdResponse   float64 // its standard deviation
+	P50Response   float64 // median response time
+	P95Response   float64 // 95th-percentile response time
+	P99Response   float64 // 99th-percentile response time
+	MaxResponse   float64 // worst accepted response time
+	MeanExec      float64 // average execution time (the monitored Tm)
+	MeanWait      float64 // average queueing delay
+
+	MinInstances int     // fewest instances running at once
+	MaxInstances int     // most instances running at once
+	AvgInstances float64 // time-weighted average
+	VMHours      float64 // Σ instance lifetimes, in hours
+	Utilization  float64 // busy seconds / VM seconds
+	EnergyKWh    float64 // data-center energy, when metering is enabled
+}
+
+// Result finalizes the run at time end. The caller must already have
+// retired every instance (see InstanceRetired).
+func (c *Collector) Result(policy string, end float64) Result {
+	r := Result{
+		Policy:         policy,
+		Duration:       end,
+		Accepted:       c.accepted,
+		Rejected:       c.rejected,
+		Violations:     c.violated,
+		DeadlineMisses: c.missed,
+		MeanResponse:   c.responses.Mean(),
+		StdResponse:    c.responses.Std(),
+		MaxResponse:    c.responses.Max(),
+		MeanExec:       c.execs.Mean(),
+		MeanWait:       c.waits.Mean(),
+		VMHours:        c.vmSeconds / 3600,
+	}
+	if c.accepted > 0 {
+		r.P50Response = c.respHist.Quantile(0.50)
+		r.P95Response = c.respHist.Quantile(0.95)
+		r.P99Response = c.respHist.Quantile(0.99)
+	}
+	if offered := c.accepted + c.rejected; offered > 0 {
+		r.RejectionRate = float64(c.rejected) / float64(offered)
+	}
+	if c.everScaled {
+		r.MinInstances = int(math.Round(c.instances.Min()))
+		r.MaxInstances = int(math.Round(c.instances.Max()))
+		r.AvgInstances = c.instances.Average(end)
+	}
+	if c.vmSeconds > 0 {
+		r.Utilization = c.busySeconds / c.vmSeconds
+	}
+	return r
+}
+
+// ClassResult is one priority class's slice of the run (SLA extension).
+type ClassResult struct {
+	Class          int
+	Accepted       uint64
+	Rejected       uint64
+	Displaced      uint64 // admitted then evicted by a higher class
+	DeadlineMisses uint64
+	RejectionRate  float64
+	MeanResponse   float64
+}
+
+// ClassResults returns per-class metrics sorted by descending class
+// (highest priority first). Runs without explicit classes yield a single
+// class-0 entry.
+func (c *Collector) ClassResults() []ClassResult {
+	out := make([]ClassResult, 0, len(c.classes))
+	for class, cs := range c.classes {
+		r := ClassResult{
+			Class:          class,
+			Accepted:       cs.accepted,
+			Rejected:       cs.rejected,
+			Displaced:      cs.displaced,
+			DeadlineMisses: cs.missed,
+			MeanResponse:   cs.responses.Mean(),
+		}
+		if offered := cs.accepted + cs.rejected; offered > 0 {
+			r.RejectionRate = float64(cs.rejected) / float64(offered)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class > out[j].Class })
+	return out
+}
+
+// String formats the result as one readable block.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", r.Policy)
+	fmt.Fprintf(&b, " instances=[%d..%d] (avg %.1f)", r.MinInstances, r.MaxInstances, r.AvgInstances)
+	fmt.Fprintf(&b, " vmHours=%.1f", r.VMHours)
+	fmt.Fprintf(&b, " util=%.1f%%", 100*r.Utilization)
+	fmt.Fprintf(&b, " rej=%.2f%%", 100*r.RejectionRate)
+	fmt.Fprintf(&b, " resp=%.4gs±%.2g", r.MeanResponse, r.StdResponse)
+	fmt.Fprintf(&b, " viol=%d", r.Violations)
+	fmt.Fprintf(&b, " served=%d", r.Accepted)
+	return b.String()
+}
+
+// Aggregate averages replications of the same policy: every scalar field
+// becomes the replication mean, and StdResponse additionally carries the
+// mean of the per-run standard deviations (matching the paper, which
+// reports the average over 10 repetitions).
+func Aggregate(results []Result) Result {
+	if len(results) == 0 {
+		return Result{}
+	}
+	agg := Result{Policy: results[0].Policy, Duration: results[0].Duration}
+	n := float64(len(results))
+	var minI, maxI, avgI, vmh, util, rej, resp, std, exec, wait, energy float64
+	var p50, p95, p99, maxResp float64
+	var acc, rejN, vio, ddl float64
+	for _, r := range results {
+		minI += float64(r.MinInstances)
+		maxI += float64(r.MaxInstances)
+		avgI += r.AvgInstances
+		vmh += r.VMHours
+		util += r.Utilization
+		energy += r.EnergyKWh
+		rej += r.RejectionRate
+		resp += r.MeanResponse
+		std += r.StdResponse
+		p50 += r.P50Response
+		p95 += r.P95Response
+		p99 += r.P99Response
+		exec += r.MeanExec
+		wait += r.MeanWait
+		acc += float64(r.Accepted)
+		rejN += float64(r.Rejected)
+		vio += float64(r.Violations)
+		ddl += float64(r.DeadlineMisses)
+		if r.MaxResponse > maxResp {
+			maxResp = r.MaxResponse
+		}
+	}
+	agg.MinInstances = int(math.Round(minI / n))
+	agg.MaxInstances = int(math.Round(maxI / n))
+	agg.AvgInstances = avgI / n
+	agg.VMHours = vmh / n
+	agg.Utilization = util / n
+	agg.EnergyKWh = energy / n
+	agg.RejectionRate = rej / n
+	agg.MeanResponse = resp / n
+	agg.StdResponse = std / n
+	agg.P50Response = p50 / n
+	agg.P95Response = p95 / n
+	agg.P99Response = p99 / n
+	agg.MaxResponse = maxResp
+	agg.MeanExec = exec / n
+	agg.MeanWait = wait / n
+	agg.Accepted = uint64(acc / n)
+	agg.Rejected = uint64(rejN / n)
+	agg.Violations = uint64(vio / n)
+	agg.DeadlineMisses = uint64(ddl / n)
+	return agg
+}

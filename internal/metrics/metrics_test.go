@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vmprov/internal/workload"
+)
+
+// req builds a class-0 request arriving at the given time.
+func req(arrival float64) workload.Request {
+	return workload.Request{Arrival: arrival}
+}
+
+func TestCompleteAndViolations(t *testing.T) {
+	c := NewCollector(2.0)
+	c.Complete(req(0), 0.5, 1.5) // response 1.5: ok
+	c.Complete(req(0), 1, 3)     // response 3: violation
+	c.Reject(req(0))
+	r := c.Result("p", 10)
+	if r.Accepted != 2 || r.Rejected != 1 || r.Violations != 1 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if math.Abs(r.RejectionRate-1.0/3.0) > 1e-12 {
+		t.Fatalf("rejection rate = %v", r.RejectionRate)
+	}
+	if math.Abs(r.MeanResponse-2.25) > 1e-12 {
+		t.Fatalf("mean response = %v", r.MeanResponse)
+	}
+	if math.Abs(r.MeanExec-1.5) > 1e-12 {
+		t.Fatalf("mean exec = %v", r.MeanExec)
+	}
+	if math.Abs(r.MeanWait-0.75) > 1e-12 {
+		t.Fatalf("mean wait = %v", r.MeanWait)
+	}
+}
+
+func TestInstanceTracking(t *testing.T) {
+	c := NewCollector(1)
+	c.SetInstances(0, 5)
+	c.SetInstances(10, 8)
+	c.SetInstances(20, 3)
+	r := c.Result("p", 30)
+	if r.MinInstances != 3 || r.MaxInstances != 8 {
+		t.Fatalf("min/max = %d/%d", r.MinInstances, r.MaxInstances)
+	}
+	// (5·10 + 8·10 + 3·10)/30 = 160/30
+	if math.Abs(r.AvgInstances-160.0/30.0) > 1e-9 {
+		t.Fatalf("avg = %v", r.AvgInstances)
+	}
+}
+
+func TestVMHoursAndUtilization(t *testing.T) {
+	c := NewCollector(1)
+	c.InstanceRetired(3600, 1800)
+	c.InstanceRetired(7200, 3600)
+	r := c.Result("p", 7200)
+	if math.Abs(r.VMHours-3) > 1e-12 {
+		t.Fatalf("vm hours = %v", r.VMHours)
+	}
+	if math.Abs(r.Utilization-0.5) > 1e-12 {
+		t.Fatalf("utilization = %v", r.Utilization)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	c := NewCollector(1)
+	r := c.Result("p", 100)
+	if r.RejectionRate != 0 || r.Utilization != 0 || r.MinInstances != 0 {
+		t.Fatalf("empty collector produced nonzero metrics: %+v", r)
+	}
+}
+
+func TestSeriesTracking(t *testing.T) {
+	c := NewCollector(1)
+	c.TrackSeries = true
+	c.SetInstances(0, 1)
+	c.SetInstances(5, 2)
+	if len(c.Series) != 2 || c.Series[1].T != 5 || c.Series[1].N != 2 {
+		t.Fatalf("series = %+v", c.Series)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	c := NewCollector(1)
+	c.SetInstances(0, 4)
+	c.Complete(req(0), 0, 0.5)
+	s := c.Result("Static-4", 10).String()
+	for _, want := range []string{"Static-4", "instances=", "util=", "rej=", "resp="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := Result{Policy: "p", MinInstances: 10, MaxInstances: 20, VMHours: 100,
+		Utilization: 0.8, RejectionRate: 0.0, MeanResponse: 1, StdResponse: 0.1,
+		Accepted: 1000, Rejected: 0, Violations: 0, AvgInstances: 15}
+	b := Result{Policy: "p", MinInstances: 12, MaxInstances: 24, VMHours: 110,
+		Utilization: 0.9, RejectionRate: 0.02, MeanResponse: 3, StdResponse: 0.3,
+		Accepted: 2000, Rejected: 100, Violations: 10, AvgInstances: 17}
+	agg := Aggregate([]Result{a, b})
+	if agg.MinInstances != 11 || agg.MaxInstances != 22 {
+		t.Fatalf("instance aggregation wrong: %+v", agg)
+	}
+	if math.Abs(agg.VMHours-105) > 1e-12 || math.Abs(agg.Utilization-0.85) > 1e-12 {
+		t.Fatalf("vm hours/util aggregation wrong: %+v", agg)
+	}
+	if math.Abs(agg.MeanResponse-2) > 1e-12 || math.Abs(agg.RejectionRate-0.01) > 1e-12 {
+		t.Fatalf("response/rejection aggregation wrong: %+v", agg)
+	}
+	if agg.Accepted != 1500 || agg.Rejected != 50 || agg.Violations != 5 {
+		t.Fatalf("count aggregation wrong: %+v", agg)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if agg := Aggregate(nil); agg != (Result{}) {
+		t.Fatalf("empty aggregate nonzero: %+v", agg)
+	}
+}

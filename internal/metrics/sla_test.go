@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"vmprov/internal/workload"
+)
+
+func TestPerClassAccounting(t *testing.T) {
+	c := NewCollector(10)
+	gold := workload.Request{Arrival: 0, Class: 2}
+	std := workload.Request{Arrival: 0, Class: 0}
+	c.Complete(gold, 0, 1)
+	c.Complete(gold, 0, 3)
+	c.Complete(std, 0, 5)
+	c.Reject(std)
+	c.Displace(std)
+
+	classes := c.ClassResults()
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(classes))
+	}
+	// Sorted highest class first.
+	g, s := classes[0], classes[1]
+	if g.Class != 2 || s.Class != 0 {
+		t.Fatalf("class order wrong: %+v", classes)
+	}
+	if g.Accepted != 2 || g.Rejected != 0 || math.Abs(g.MeanResponse-2) > 1e-12 {
+		t.Fatalf("gold class wrong: %+v", g)
+	}
+	if s.Accepted != 1 || s.Rejected != 2 || s.Displaced != 1 {
+		t.Fatalf("standard class wrong: %+v", s)
+	}
+	if math.Abs(s.RejectionRate-2.0/3.0) > 1e-12 {
+		t.Fatalf("standard rejection rate = %v", s.RejectionRate)
+	}
+	// Displacement counts in the run totals too.
+	r := c.Result("p", 10)
+	if r.Rejected != 2 || r.Accepted != 3 {
+		t.Fatalf("totals wrong: %+v", r)
+	}
+}
+
+func TestDeadlineMisses(t *testing.T) {
+	c := NewCollector(100)
+	onTime := workload.Request{Arrival: 0, Deadline: 10}
+	late := workload.Request{Arrival: 0, Deadline: 4}
+	noDeadline := workload.Request{Arrival: 0}
+	c.Complete(onTime, 0, 8)
+	c.Complete(late, 0, 5)
+	c.Complete(noDeadline, 0, 99)
+	r := c.Result("p", 100)
+	if r.DeadlineMisses != 1 {
+		t.Fatalf("deadline misses = %d, want 1", r.DeadlineMisses)
+	}
+	cr := c.ClassResults()
+	if len(cr) != 1 || cr[0].DeadlineMisses != 1 {
+		t.Fatalf("class deadline misses wrong: %+v", cr)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	c := NewCollector(10)
+	for i := 1; i <= 100; i++ {
+		c.Complete(req(0), 0, float64(i)/10) // responses 0.1 .. 10.0
+	}
+	r := c.Result("p", 100)
+	if r.P50Response < 4.5 || r.P50Response > 5.5 {
+		t.Fatalf("p50 = %v, want ≈5", r.P50Response)
+	}
+	if r.P95Response < 9 || r.P95Response > 10 {
+		t.Fatalf("p95 = %v, want ≈9.5", r.P95Response)
+	}
+	if r.P99Response < 9.5 || r.P99Response > 10.1 {
+		t.Fatalf("p99 = %v, want ≈9.9", r.P99Response)
+	}
+	if r.MaxResponse != 10 {
+		t.Fatalf("max = %v, want 10", r.MaxResponse)
+	}
+}
+
+func TestAggregateDeadlines(t *testing.T) {
+	a := Result{Policy: "p", DeadlineMisses: 4}
+	b := Result{Policy: "p", DeadlineMisses: 6}
+	if agg := Aggregate([]Result{a, b}); agg.DeadlineMisses != 5 {
+		t.Fatalf("aggregated deadline misses = %d, want 5", agg.DeadlineMisses)
+	}
+}

@@ -1,0 +1,57 @@
+package provision
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vmprov/internal/cloud"
+	"vmprov/internal/metrics"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+// TestConservationProperty: under random traffic and random scaling
+// actions, every offered request is exactly one of {completed, rejected}
+// once the simulation drains, VM accounting balances against the data
+// center, and utilization stays within [0, 1].
+func TestConservationProperty(t *testing.T) {
+	f := func(seed uint64, rateRaw, scaleRaw uint8) bool {
+		rate := 0.5 + float64(rateRaw)/16 // 0.5 .. 16.4 req/s
+		s := sim.New()
+		dc := cloud.New(50, cloud.HostSpec{Cores: 8, RAMMB: 16384})
+		col := metrics.NewCollector(testCfg().QoS.Ts)
+		p := NewProvisioner(s, dc, testCfg(), col)
+
+		offered := 0
+		src := &workload.PoissonSource{
+			Rate:    rate,
+			Service: stats.Uniform{Min: 0.8, Max: 1.2},
+			Horizon: 400,
+		}
+		src.Start(s, stats.NewRNG(seed), func(q workload.Request) {
+			offered++
+			p.Submit(q)
+		})
+		// Random scaling actions at fixed instants.
+		p.SetTarget(int(scaleRaw)%8 + 1)
+		s.At(120, func() { p.SetTarget(int(scaleRaw/3)%12 + 1) })
+		s.At(250, func() { p.SetTarget(int(scaleRaw/7)%5 + 1) })
+
+		s.Run() // past the horizon: drains every in-service request
+		p.Shutdown(s.Now())
+		res := col.Result("x", s.Now())
+
+		if res.Accepted+res.Rejected != uint64(offered) {
+			return false
+		}
+		if res.Utilization < 0 || res.Utilization > 1+1e-9 {
+			return false
+		}
+		// Data center bookkeeping: remaining VMs equal live instances.
+		return dc.Running() == p.Running()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

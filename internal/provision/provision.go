@@ -1,0 +1,405 @@
+// Package provision implements the paper's PaaS-layer provisioning
+// mechanism (Section IV): the application provisioner (admission control,
+// round-robin dispatch, and grow/shrink of the instance pool with graceful
+// draining), the load predictor and performance modeler (Algorithm 1 over
+// the M/M/1/k fleet model), and the adaptive and static provisioning
+// policies evaluated in Section V.
+package provision
+
+import (
+	"fmt"
+	"sort"
+
+	"vmprov/internal/app"
+	"vmprov/internal/cloud"
+	"vmprov/internal/metrics"
+	"vmprov/internal/queueing"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/trace"
+	"vmprov/internal/workload"
+)
+
+// QoS holds the negotiated targets of the application (Section III-B).
+type QoS struct {
+	Ts             float64 // maximum response time of a request (seconds)
+	MaxRejection   float64 // maximum fraction of rejected requests (paper: 0)
+	RejectionTol   float64 // modeling tolerance added to MaxRejection when evaluating the analytic fleet model
+	MinUtilization float64 // minimum per-instance utilization (paper: 0.8)
+}
+
+// Config parameterizes a provisioner.
+type Config struct {
+	QoS           QoS
+	NominalTr     float64      // nominal single-request execution time; with Ts it defines k (Equation 1)
+	MaxVMs        int          // contract ceiling on concurrently running VMs
+	VMSpec        cloud.VMSpec // resources of each application VM
+	BootDelay     float64      // seconds from provisioning to readiness (paper setup: 0)
+	MonitorWindow int          // completions in the monitored-Tm sliding window (default 1000)
+
+	// SLA extension (the paper's future-work Section VII); both default
+	// off, leaving the base experiments untouched.
+
+	// PreemptLowPriority lets an arrival finding every instance full
+	// displace a waiting request of a strictly lower class instead of
+	// being rejected.
+	PreemptLowPriority bool
+	// DeadlineAware makes dispatch skip instances whose backlog predicts
+	// a deadline miss ((queue+1)·Tm past the request's deadline) and
+	// reject requests no instance can finish in time.
+	DeadlineAware bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.QoS.Ts <= 0 {
+		return fmt.Errorf("provision: QoS.Ts must be positive, got %v", c.QoS.Ts)
+	}
+	if c.QoS.MaxRejection < 0 || c.QoS.MaxRejection > 1 {
+		return fmt.Errorf("provision: QoS.MaxRejection %v outside [0,1]", c.QoS.MaxRejection)
+	}
+	if c.QoS.MinUtilization < 0 || c.QoS.MinUtilization >= 1 {
+		return fmt.Errorf("provision: QoS.MinUtilization %v outside [0,1)", c.QoS.MinUtilization)
+	}
+	if c.NominalTr <= 0 {
+		return fmt.Errorf("provision: NominalTr must be positive, got %v", c.NominalTr)
+	}
+	if c.MaxVMs < 1 {
+		return fmt.Errorf("provision: MaxVMs must be at least 1, got %d", c.MaxVMs)
+	}
+	if c.BootDelay < 0 {
+		return fmt.Errorf("provision: BootDelay must be non-negative, got %v", c.BootDelay)
+	}
+	return nil
+}
+
+// Provisioner is the application provisioner: the single point of contact
+// receiving requests, applying admission control, dispatching round-robin
+// to application instances, and executing scaling decisions.
+type Provisioner struct {
+	sim *sim.Sim
+	dc  cloud.Provider
+	cfg Config
+	k   int
+	col *metrics.Collector
+
+	monitor   *stats.Window
+	instances []*app.Instance // all live (booting/active/draining) instances
+	rr        int             // round-robin cursor
+	target    int             // last requested committed size
+
+	// CapacityShortfalls counts scale-up attempts the data center could
+	// not satisfy (ErrNoCapacity or the MaxVMs ceiling).
+	CapacityShortfalls int
+
+	// onServed, when set, observes every completion after the built-in
+	// accounting — the hook composite pipelines chain stages with.
+	onServed func(app.Completion)
+	// onRejected, when set, observes every request terminated by
+	// admission control or displacement.
+	onRejected func(workload.Request)
+	// tracer, when set, receives structured lifecycle events.
+	tracer trace.Recorder
+}
+
+// NewProvisioner wires a provisioner to a simulator, a VM provider (a
+// data center or a federation of clouds), and a metrics collector. It
+// panics on invalid configuration: a provisioner is constructed once per
+// experiment, before the clock starts.
+func NewProvisioner(s *sim.Sim, dc cloud.Provider, cfg Config, col *metrics.Collector) *Provisioner {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.MonitorWindow <= 0 {
+		cfg.MonitorWindow = 1000
+	}
+	if cfg.VMSpec == (cloud.VMSpec{}) {
+		cfg.VMSpec = cloud.DefaultVMSpec()
+	}
+	return &Provisioner{
+		sim:     s,
+		dc:      dc,
+		cfg:     cfg,
+		k:       queueing.QueueSize(cfg.QoS.Ts, cfg.NominalTr),
+		col:     col,
+		monitor: stats.NewWindow(cfg.MonitorWindow),
+	}
+}
+
+// K returns the per-instance queue capacity k = ⌊Ts/Tr⌋.
+func (p *Provisioner) K() int { return p.k }
+
+// Config returns the provisioner's configuration.
+func (p *Provisioner) Config() Config { return p.cfg }
+
+// MonitoredTm returns the sliding-window mean of observed request
+// execution times, falling back to the nominal Tr before any completion —
+// the paper's "monitored average request execution time".
+func (p *Provisioner) MonitoredTm() float64 {
+	return p.monitor.MeanOr(p.cfg.NominalTr / p.cfg.VMSpec.Capacity)
+}
+
+// Running returns the number of live (booting, active, or draining)
+// instances.
+func (p *Provisioner) Running() int { return len(p.instances) }
+
+// Committed returns the number of instances committed to serving: booting
+// plus active (draining instances are on their way out).
+func (p *Provisioner) Committed() int {
+	n := 0
+	for _, in := range p.instances {
+		if st := in.State(); st == app.Active || st == app.Booting {
+			n++
+		}
+	}
+	return n
+}
+
+// Target returns the size most recently requested via SetTarget.
+func (p *Provisioner) Target() int { return p.target }
+
+// SetOnServed registers a completion observer invoked after the built-in
+// metrics and monitoring. Composite pipelines use it to forward finished
+// requests to the next stage.
+func (p *Provisioner) SetOnServed(fn func(inst int, req workload.Request, start, finish float64)) {
+	p.onServed = func(c app.Completion) { fn(c.Inst.VM.ID, c.Req, c.Start, c.Finish) }
+}
+
+// SetOnRejected registers an observer for requests terminated by
+// admission control or displacement.
+func (p *Provisioner) SetOnRejected(fn func(req workload.Request)) { p.onRejected = fn }
+
+// SetTracer enables structured event tracing (request lifecycle, scaling
+// decisions, instance churn). Pass nil to disable.
+func (p *Provisioner) SetTracer(tr trace.Recorder) { p.tracer = tr }
+
+// Submit runs one request through admission control and dispatch. The
+// admission controller rejects a request only when every active instance
+// already holds k requests (Section IV); otherwise the request goes to
+// the next non-full active instance in round-robin order. The SLA
+// extension adds deadline-aware dispatch and priority displacement; with
+// the defaults both are inert.
+func (p *Provisioner) Submit(req workload.Request) {
+	n := len(p.instances)
+	for i := 0; i < n; i++ {
+		idx := (p.rr + i) % n
+		in := p.instances[idx]
+		if in.State() != app.Active || in.Full() {
+			continue
+		}
+		if p.cfg.DeadlineAware && req.Deadline > 0 && !p.meetsDeadline(in, req) {
+			continue
+		}
+		p.rr = (idx + 1) % n
+		in.Accept(req)
+		if p.tracer != nil {
+			p.tracer.Record(trace.Event{
+				T: p.sim.Now(), Kind: trace.KindAccept,
+				Req: req.ID, Class: req.Class, Inst: in.VM.ID,
+			})
+		}
+		return
+	}
+	if p.cfg.PreemptLowPriority && p.displaceFor(req) {
+		return
+	}
+	p.col.Reject(req)
+	if p.onRejected != nil {
+		p.onRejected(req)
+	}
+	if p.tracer != nil {
+		p.tracer.Record(trace.Event{
+			T: p.sim.Now(), Kind: trace.KindReject, Req: req.ID, Class: req.Class,
+		})
+	}
+}
+
+// meetsDeadline predicts whether instance in can finish req before its
+// deadline: (backlog+1) service times from now.
+func (p *Provisioner) meetsDeadline(in *app.Instance, req workload.Request) bool {
+	predicted := p.sim.Now() + float64(in.Len()+1)*p.MonitoredTm()
+	return predicted <= req.Deadline
+}
+
+// displaceFor tries to admit a request whose class outranks some waiting
+// request: the lowest-class waiter across active instances is evicted
+// (counted as displaced) and the arrival takes the freed slot.
+func (p *Provisioner) displaceFor(req workload.Request) bool {
+	var victim *app.Instance
+	victimIdx, victimClass := -1, req.Class
+	for _, in := range p.instances {
+		if in.State() != app.Active {
+			continue
+		}
+		if idx, class, ok := in.LowestWaiting(); ok && class < victimClass {
+			victim, victimIdx, victimClass = in, idx, class
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	evicted := victim.EvictWaiting(victimIdx)
+	p.col.Displace(evicted)
+	if p.onRejected != nil {
+		p.onRejected(evicted)
+	}
+	victim.Accept(req)
+	return true
+}
+
+// onComplete handles every service completion: metrics, the Tm monitor,
+// and the deferred destruction of drained instances.
+func (p *Provisioner) onComplete(c app.Completion) {
+	p.col.Complete(c.Req, c.Start, c.Finish)
+	p.monitor.Add(c.Finish - c.Start)
+	if p.tracer != nil {
+		p.tracer.Record(trace.Event{
+			T: c.Finish, Kind: trace.KindComplete,
+			Req: c.Req.ID, Class: c.Req.Class, Inst: c.Inst.VM.ID,
+			Response: c.Finish - c.Req.Arrival,
+		})
+	}
+	if c.Drained {
+		p.retire(c.Inst)
+	}
+	if p.onServed != nil {
+		p.onServed(c)
+	}
+}
+
+// retire destroys an idle instance and releases its VM.
+func (p *Provisioner) retire(in *app.Instance) {
+	in.Destroy()
+	now := p.sim.Now()
+	if err := p.dc.Release(now, in.VM.ID); err != nil {
+		panic(err) // a VM we provisioned must be releasable
+	}
+	p.col.InstanceRetired(in.Lifetime(now), in.BusyTime)
+	for i, other := range p.instances {
+		if other == in {
+			p.instances = append(p.instances[:i], p.instances[i+1:]...)
+			break
+		}
+	}
+	if p.rr >= len(p.instances) {
+		p.rr = 0
+	}
+	p.col.SetInstances(now, len(p.instances))
+}
+
+// SetTarget grows or shrinks the committed pool to m instances,
+// implementing the paper's scale-up and scale-down procedures
+// (Section IV-C): scale-up first reclaims draining instances, then
+// provisions new VMs; scale-down destroys idle instances immediately and
+// gracefully drains the least-loaded busy ones.
+func (p *Provisioner) SetTarget(m int) {
+	if m < 0 {
+		m = 0
+	}
+	if m > p.cfg.MaxVMs {
+		m = p.cfg.MaxVMs
+	}
+	p.target = m
+	committed := p.Committed()
+	switch {
+	case m > committed:
+		p.scaleUp(m - committed)
+	case m < committed:
+		p.scaleDown(committed - m)
+	}
+	p.col.SetInstances(p.sim.Now(), len(p.instances))
+	if p.tracer != nil {
+		p.tracer.Record(trace.Event{
+			T: p.sim.Now(), Kind: trace.KindScale,
+			Count: m, Value: float64(len(p.instances)),
+		})
+	}
+}
+
+func (p *Provisioner) scaleUp(need int) {
+	// First, reclaim instances that were selected for destruction but are
+	// still processing requests.
+	for _, in := range p.instances {
+		if need == 0 {
+			return
+		}
+		if in.State() == app.Draining {
+			in.Reactivate()
+			need--
+		}
+	}
+	// Then provision new VMs, bounded by the data center capacity and the
+	// MaxVMs contract (enforced by the caller's clamp on m).
+	for ; need > 0; need-- {
+		if len(p.instances) >= p.cfg.MaxVMs {
+			p.CapacityShortfalls++
+			return
+		}
+		vm, err := p.dc.Provision(p.sim.Now(), p.cfg.VMSpec)
+		if err != nil {
+			p.CapacityShortfalls++
+			return
+		}
+		in := app.NewInstance(p.sim, vm, p.k, p.onComplete)
+		p.instances = append(p.instances, in)
+		if p.cfg.BootDelay > 0 {
+			p.sim.Schedule(p.cfg.BootDelay, func() {
+				if in.State() == app.Booting {
+					in.Activate()
+				}
+			})
+		} else {
+			in.Activate()
+		}
+	}
+}
+
+func (p *Provisioner) scaleDown(excess int) {
+	// Idle instances go first and are destroyed immediately; booting
+	// instances are idle by definition.
+	var idle, busy []*app.Instance
+	for _, in := range p.instances {
+		switch in.State() {
+		case app.Active:
+			if in.Idle() {
+				idle = append(idle, in)
+			} else {
+				busy = append(busy, in)
+			}
+		case app.Booting:
+			idle = append(idle, in)
+		}
+	}
+	// Deterministic order: idle by VM ID; busy by fewest requests in
+	// progress, then VM ID (the paper destroys "the instances with
+	// smaller number of requests in progress").
+	sort.Slice(idle, func(i, j int) bool { return idle[i].VM.ID < idle[j].VM.ID })
+	sort.Slice(busy, func(i, j int) bool {
+		if busy[i].Len() != busy[j].Len() {
+			return busy[i].Len() < busy[j].Len()
+		}
+		return busy[i].VM.ID < busy[j].VM.ID
+	})
+	for _, in := range idle {
+		if excess == 0 {
+			return
+		}
+		p.retire(in)
+		excess--
+	}
+	for _, in := range busy {
+		if excess == 0 {
+			return
+		}
+		in.MarkDraining()
+		excess--
+	}
+}
+
+// Shutdown finalizes accounting for instances still alive when the run
+// ends at time end, so VM hours and utilization cover the whole horizon.
+func (p *Provisioner) Shutdown(end float64) {
+	for _, in := range p.instances {
+		p.col.InstanceRetired(in.Lifetime(end), in.BusyNow(end))
+	}
+}

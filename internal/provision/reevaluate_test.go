@@ -1,0 +1,74 @@
+package provision
+
+import (
+	"testing"
+
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+// TestReevaluateTracksServiceDrift: the arrival rate never changes (one
+// analyzer alert at t=0), but service times double mid-run. Only the
+// periodic re-evaluation loop can notice — through the monitored Tm — and
+// grow the fleet.
+func TestReevaluateTracksServiceDrift(t *testing.T) {
+	run := func(reevaluate float64) (early, late int, rejection float64) {
+		r := newRig(t, testCfg())
+		// Drifting service: 1 s before t=2000, 2 s after. Ts=2 (k=2)
+		// still fits the doubled service? k = ⌊2/1⌋ = 2; doubled service
+		// means a single request takes 2 s ≈ Ts, so QoS needs more
+		// instances to avoid waiting... rejection pressure shows up in
+		// the model through Tm.
+		svc := driftSampler{r: stats.NewRNG(9)}
+		src := &workload.PoissonSource{Rate: 6, Service: &svc, Horizon: 4000}
+		ctrl := &Adaptive{
+			Analyzer:   &workload.OracleAnalyzer{Source: src},
+			Reevaluate: reevaluate,
+		}
+		ctrl.Attach(r.sim, r.p)
+		src.Start(r.sim, stats.NewRNG(10), func(q workload.Request) {
+			svc.now = r.sim.Now()
+			r.p.Submit(q)
+		})
+		r.sim.At(1900, func() { early = r.p.Running() })
+		r.sim.At(3900, func() { late = r.p.Running() })
+		// RunUntil, not Run: the re-evaluation ticker never terminates.
+		r.sim.RunUntil(4200)
+		r.p.Shutdown(r.sim.Now())
+		res := r.col.Result("x", r.sim.Now())
+		return early, late, res.RejectionRate
+	}
+
+	earlyFixed, lateFixed, rejFixed := run(0)
+	earlyRe, lateRe, rejRe := run(120)
+
+	// Without re-evaluation the fleet never grows after t=0.
+	if lateFixed != earlyFixed {
+		t.Fatalf("alert-only fleet changed (%d → %d) without new alerts", earlyFixed, lateFixed)
+	}
+	// With re-evaluation the monitored Tm doubles and the fleet grows.
+	if lateRe <= earlyRe {
+		t.Fatalf("re-evaluating fleet did not grow on service drift: %d → %d", earlyRe, lateRe)
+	}
+	// And that growth buys a lower rejection rate.
+	if rejRe >= rejFixed {
+		t.Fatalf("re-evaluation should cut rejection: %.4f vs %.4f", rejRe, rejFixed)
+	}
+}
+
+// driftSampler serves 1 s before its drift instant and 2 s after; the
+// driver updates now before each submission.
+type driftSampler struct {
+	r   *stats.RNG
+	now float64
+}
+
+func (d *driftSampler) Sample(*stats.RNG) float64 {
+	base := 1.0
+	if d.now >= 2000 {
+		base = 2.0
+	}
+	return base * (1 + 0.1*d.r.Float64())
+}
+
+func (d *driftSampler) Mean() float64 { return 1.05 }

@@ -1,0 +1,106 @@
+package provision
+
+import (
+	"testing"
+
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+func TestScheduledAppliesPlan(t *testing.T) {
+	r := newRig(t, testCfg())
+	sc := &Scheduled{
+		Times: []float64{0, 100, 200},
+		Sizes: []int{2, 6, 3},
+	}
+	sc.Attach(r.sim, r.p)
+	var at50, at150, at250 int
+	r.sim.At(50, func() { at50 = r.p.Committed() })
+	r.sim.At(150, func() { at150 = r.p.Committed() })
+	r.sim.At(250, func() { at250 = r.p.Committed() })
+	r.sim.Run()
+	if at50 != 2 || at150 != 6 || at250 != 3 {
+		t.Fatalf("plan not applied: %d/%d/%d, want 2/6/3", at50, at150, at250)
+	}
+}
+
+func TestScheduledRepeats(t *testing.T) {
+	r := newRig(t, testCfg())
+	sc := &Scheduled{
+		Times:  []float64{0, 50},
+		Sizes:  []int{1, 4},
+		Repeat: 100,
+	}
+	sc.Attach(r.sim, r.p)
+	var secondCycleLow, secondCycleHigh int
+	r.sim.At(120, func() { secondCycleLow = r.p.Committed() })
+	r.sim.At(170, func() { secondCycleHigh = r.p.Committed() })
+	r.sim.RunUntil(200)
+	if secondCycleLow != 1 || secondCycleHigh != 4 {
+		t.Fatalf("repeat cycle wrong: %d/%d, want 1/4", secondCycleLow, secondCycleHigh)
+	}
+}
+
+func TestScheduledValidation(t *testing.T) {
+	bad := []*Scheduled{
+		{Times: nil, Sizes: nil},
+		{Times: []float64{0, 10}, Sizes: []int{1}},
+		{Times: []float64{5, 10}, Sizes: []int{1, 2}},
+		{Times: []float64{0, 0}, Sizes: []int{1, 2}},
+	}
+	for i, sc := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("plan %d did not panic", i)
+				}
+			}()
+			r := newRig(t, testCfg())
+			sc.Attach(r.sim, r.p)
+		}()
+	}
+}
+
+// TestScheduledVsAdaptive: an oracle schedule sized from the true step
+// rates performs like the adaptive policy with an oracle analyzer —
+// scheduling is exactly "adaptive with the decisions precomputed".
+func TestScheduledVsAdaptive(t *testing.T) {
+	newSrc := func() *workload.StepSource {
+		return &workload.StepSource{
+			Times:   []float64{0, 1000, 2000},
+			Rates:   []float64{4, 16, 4},
+			Service: stats.Uniform{Min: 1, Max: 1.1},
+			Horizon: 3000,
+		}
+	}
+	run := func(attach func(r *rig, src *workload.StepSource)) (util, rej float64) {
+		r := newRig(t, testCfg())
+		src := newSrc()
+		attach(r, src)
+		src.Start(r.sim, stats.NewRNG(21), r.p.Submit)
+		r.sim.RunUntil(3200)
+		r.p.Shutdown(r.sim.Now())
+		res := r.col.Result("x", r.sim.Now())
+		return res.Utilization, res.RejectionRate
+	}
+	utilSched, rejSched := run(func(r *rig, src *workload.StepSource) {
+		// Plan computed offline with Algorithm1 on the known rates.
+		in := SizingInput{Tm: 1.05, K: r.p.K(), Current: 1, MaxVMs: 100, QoS: r.p.Config().QoS}
+		var sizes []int
+		for _, rate := range src.Rates {
+			in.Lambda = rate
+			sizes = append(sizes, Algorithm1(in))
+			in.Current = sizes[len(sizes)-1]
+		}
+		(&Scheduled{Times: src.Times, Sizes: sizes}).Attach(r.sim, r.p)
+	})
+	utilAdap, rejAdap := run(func(r *rig, src *workload.StepSource) {
+		(&Adaptive{Analyzer: &workload.OracleAnalyzer{Source: src, Times: src.Times[1:]}}).Attach(r.sim, r.p)
+	})
+	if rejSched > rejAdap+0.02 {
+		t.Fatalf("oracle schedule rejects far more than adaptive: %.4f vs %.4f", rejSched, rejAdap)
+	}
+	if utilSched < utilAdap-0.15 {
+		t.Fatalf("oracle schedule wastes far more than adaptive: %.3f vs %.3f", utilSched, utilAdap)
+	}
+}

@@ -1,0 +1,111 @@
+// Package queueing implements the closed-form queueing models the paper's
+// load predictor and performance modeler is built on: M/M/1, M/M/1/K,
+// M/M/c (Erlang C), M/M/c/K and M/M/∞ stations, plus the paper's queueing
+// network — an M/M/∞ application provisioner feeding m parallel M/M/1/k
+// application instances (Figure 2).
+//
+// Conventions: λ is the arrival rate (requests/second), μ the service rate
+// (1/mean service time), ρ = λ/μ the offered load, and K the station
+// capacity counting the request in service (so an M/M/1/K station holds at
+// most K requests, one serving and K−1 waiting).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrParams reports invalid queueing parameters.
+var ErrParams = errors.New("queueing: invalid parameters")
+
+// MM1K is a single-server queue with capacity K (in service + waiting).
+// The paper models each virtualized application instance as M/M/1/k with
+// k = ⌊Ts/Tr⌋ (Equation 1).
+type MM1K struct {
+	Lambda float64 // arrival rate λ
+	Mu     float64 // service rate μ
+	K      int     // system capacity ≥ 1
+}
+
+// Validate reports whether the parameters are usable.
+func (q MM1K) Validate() error {
+	if q.Lambda < 0 || q.Mu <= 0 || q.K < 1 ||
+		math.IsNaN(q.Lambda) || math.IsNaN(q.Mu) {
+		return fmt.Errorf("%w: MM1K{λ=%v, μ=%v, K=%d}", ErrParams, q.Lambda, q.Mu, q.K)
+	}
+	return nil
+}
+
+// Rho returns the offered load ρ = λ/μ. Finite-capacity queues are stable
+// for any ρ, including ρ ≥ 1.
+func (q MM1K) Rho() float64 { return q.Lambda / q.Mu }
+
+// ProbN returns the steady-state probability of n requests in the system,
+// P(N = n) = ρⁿ(1−ρ)/(1−ρ^{K+1}), with the ρ→1 limit 1/(K+1).
+func (q MM1K) ProbN(n int) float64 {
+	if n < 0 || n > q.K {
+		return 0
+	}
+	rho := q.Rho()
+	if rho == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	if nearOne(rho) {
+		return 1 / float64(q.K+1)
+	}
+	return math.Pow(rho, float64(n)) * (1 - rho) / (1 - math.Pow(rho, float64(q.K+1)))
+}
+
+// Blocking returns P(S_k) — the probability an arriving request finds the
+// station full and is rejected (PASTA). This is the paper's Pr(Sk).
+func (q MM1K) Blocking() float64 { return q.ProbN(q.K) }
+
+// MeanNumber returns L, the expected number of requests in the system.
+func (q MM1K) MeanNumber() float64 {
+	rho := q.Rho()
+	if rho == 0 {
+		return 0
+	}
+	k := float64(q.K)
+	if nearOne(rho) {
+		return k / 2
+	}
+	// L = ρ/(1−ρ) − (K+1)ρ^{K+1}/(1−ρ^{K+1})
+	rk1 := math.Pow(rho, k+1)
+	return rho/(1-rho) - (k+1)*rk1/(1-rk1)
+}
+
+// Throughput returns the accepted-request rate λ(1 − P(S_k)).
+func (q MM1K) Throughput() float64 { return q.Lambda * (1 - q.Blocking()) }
+
+// ResponseTime returns T_q — the expected sojourn time of an *accepted*
+// request, L/λ_eff by Little's law. With λ = 0 the station is empty and a
+// hypothetical arrival would spend exactly one service time, 1/μ.
+func (q MM1K) ResponseTime() float64 {
+	eff := q.Throughput()
+	if eff == 0 {
+		return 1 / q.Mu
+	}
+	return q.MeanNumber() / eff
+}
+
+// WaitTime returns the expected queueing delay of an accepted request,
+// ResponseTime − 1/μ.
+func (q MM1K) WaitTime() float64 { return q.ResponseTime() - 1/q.Mu }
+
+// OfferedUtilization returns ρ, the utilization the arriving load would
+// impose ignoring blocking. The paper's modeler compares this against the
+// minimum-utilization threshold.
+func (q MM1K) OfferedUtilization() float64 { return q.Rho() }
+
+// CarriedUtilization returns the probability the server is busy,
+// 1 − P(N = 0) = ρ(1 − P(S_k)).
+func (q MM1K) CarriedUtilization() float64 { return 1 - q.ProbN(0) }
+
+// nearOne reports whether ρ is close enough to 1 that the geometric-series
+// closed forms lose precision and the ρ=1 limits should be used.
+func nearOne(rho float64) bool { return math.Abs(rho-1) < 1e-9 }

@@ -1,0 +1,184 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 is the unbounded single-server queue, provided as the K→∞ limit of
+// MM1K and used in tests and ablations.
+type MM1 struct {
+	Lambda float64
+	Mu     float64
+}
+
+// Validate reports whether the parameters describe a stable queue.
+func (q MM1) Validate() error {
+	if q.Lambda < 0 || q.Mu <= 0 || q.Lambda >= q.Mu {
+		return fmt.Errorf("%w: MM1{λ=%v, μ=%v} must satisfy 0 ≤ λ < μ", ErrParams, q.Lambda, q.Mu)
+	}
+	return nil
+}
+
+// Rho returns λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanNumber returns L = ρ/(1−ρ).
+func (q MM1) MeanNumber() float64 {
+	rho := q.Rho()
+	return rho / (1 - rho)
+}
+
+// ResponseTime returns W = 1/(μ−λ).
+func (q MM1) ResponseTime() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// WaitTime returns W − 1/μ.
+func (q MM1) WaitTime() float64 { return q.ResponseTime() - 1/q.Mu }
+
+// MMInf is the infinite-server station; the paper models the application
+// provisioner as M/M/∞ (every arriving request is "served" — forwarded —
+// immediately, with no queueing).
+type MMInf struct {
+	Lambda float64
+	Mu     float64
+}
+
+// MeanNumber returns L = λ/μ (Poisson-distributed occupancy).
+func (q MMInf) MeanNumber() float64 { return q.Lambda / q.Mu }
+
+// ResponseTime returns 1/μ: there is never any waiting.
+func (q MMInf) ResponseTime() float64 { return 1 / q.Mu }
+
+// MMC is the c-server unbounded queue (Erlang C).
+type MMC struct {
+	Lambda float64
+	Mu     float64
+	C      int
+}
+
+// Validate reports whether the parameters describe a stable queue.
+func (q MMC) Validate() error {
+	if q.Lambda < 0 || q.Mu <= 0 || q.C < 1 || q.Lambda >= float64(q.C)*q.Mu {
+		return fmt.Errorf("%w: MMC{λ=%v, μ=%v, c=%d} must satisfy 0 ≤ λ < cμ", ErrParams, q.Lambda, q.Mu, q.C)
+	}
+	return nil
+}
+
+// Offered returns the offered load a = λ/μ in Erlangs.
+func (q MMC) Offered() float64 { return q.Lambda / q.Mu }
+
+// Rho returns the per-server utilization a/c.
+func (q MMC) Rho() float64 { return q.Offered() / float64(q.C) }
+
+// ErlangC returns the probability an arrival must wait, computed with the
+// numerically stable iterative Erlang-B recursion then converted to
+// Erlang C.
+func (q MMC) ErlangC() float64 {
+	a := q.Offered()
+	b := ErlangB(a, q.C)
+	rho := q.Rho()
+	return b / (1 - rho*(1-b))
+}
+
+// WaitTime returns the expected queueing delay E[Wq] = C(c,a)/(cμ−λ).
+func (q MMC) WaitTime() float64 {
+	return q.ErlangC() / (float64(q.C)*q.Mu - q.Lambda)
+}
+
+// ResponseTime returns E[W] = E[Wq] + 1/μ.
+func (q MMC) ResponseTime() float64 { return q.WaitTime() + 1/q.Mu }
+
+// MeanNumber returns L by Little's law.
+func (q MMC) MeanNumber() float64 { return q.Lambda * q.ResponseTime() }
+
+// ErlangB returns the Erlang-B blocking probability for offered load a
+// Erlangs on c servers, via the standard stable recursion
+// B(0)=1, B(k) = aB(k−1)/(k + aB(k−1)).
+func ErlangB(a float64, c int) float64 {
+	if a <= 0 {
+		return 0
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// MMCK is the c-server queue with total capacity K ≥ c (in service +
+// waiting). Used for the ablation that models the whole fleet as one
+// multi-server station with shared admission.
+type MMCK struct {
+	Lambda float64
+	Mu     float64
+	C      int
+	K      int
+}
+
+// Validate reports whether the parameters are usable.
+func (q MMCK) Validate() error {
+	if q.Lambda < 0 || q.Mu <= 0 || q.C < 1 || q.K < q.C {
+		return fmt.Errorf("%w: MMCK{λ=%v, μ=%v, c=%d, K=%d}", ErrParams, q.Lambda, q.Mu, q.C, q.K)
+	}
+	return nil
+}
+
+// probs returns the steady-state distribution P(N=n), n = 0..K, computed
+// in a numerically stable way by normalizing unnormalized birth–death
+// terms accumulated in log space relative to the largest term.
+func (q MMCK) probs() []float64 {
+	a := q.Lambda / q.Mu
+	c := float64(q.C)
+	logp := make([]float64, q.K+1)
+	logp[0] = 0
+	for n := 1; n <= q.K; n++ {
+		servers := math.Min(float64(n), c)
+		logp[n] = logp[n-1] + math.Log(a) - math.Log(servers)
+	}
+	maxLog := logp[0]
+	for _, v := range logp[1:] {
+		if v > maxLog {
+			maxLog = v
+		}
+	}
+	var sum float64
+	p := make([]float64, q.K+1)
+	for n, v := range logp {
+		p[n] = math.Exp(v - maxLog)
+		sum += p[n]
+	}
+	for n := range p {
+		p[n] /= sum
+	}
+	return p
+}
+
+// Blocking returns P(N=K), the probability an arrival is rejected.
+func (q MMCK) Blocking() float64 {
+	if q.Lambda == 0 {
+		return 0
+	}
+	p := q.probs()
+	return p[q.K]
+}
+
+// MeanNumber returns L = Σ n·P(N=n).
+func (q MMCK) MeanNumber() float64 {
+	if q.Lambda == 0 {
+		return 0
+	}
+	var l float64
+	for n, pn := range q.probs() {
+		l += float64(n) * pn
+	}
+	return l
+}
+
+// ResponseTime returns the expected sojourn of an accepted request.
+func (q MMCK) ResponseTime() float64 {
+	eff := q.Lambda * (1 - q.Blocking())
+	if eff == 0 {
+		return 1 / q.Mu
+	}
+	return q.MeanNumber() / eff
+}

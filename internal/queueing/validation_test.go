@@ -1,0 +1,147 @@
+// validation_test cross-checks the closed-form models of this package
+// against the discrete-event simulator: the same stations realized as
+// simulated application instances must reproduce the analytic blocking
+// probabilities, occupancy, and response times. This is the repository's
+// simulation-versus-theory gate — if either side drifts, these fail.
+package queueing_test
+
+import (
+	"math"
+	"testing"
+
+	"vmprov/internal/app"
+	"vmprov/internal/cloud"
+	"vmprov/internal/queueing"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+// simMM1K drives one simulated instance with Poisson(λ)/Exp(μ) traffic
+// and capacity k, returning measured (blocking, meanResponse, carried
+// utilization).
+func simMM1K(t *testing.T, lambda, mu float64, k int, horizon float64, seed uint64) (blocking, resp, util float64) {
+	t.Helper()
+	s := sim.New()
+	var accepted, rejected int
+	var respSum float64
+	vm := cloud.VM{ID: 1, Spec: cloud.VMSpec{Cores: 1, RAMMB: 1, Capacity: 1}}
+	var inst *app.Instance
+	inst = app.NewInstance(s, vm, k, func(c app.Completion) {
+		respSum += c.Finish - c.Req.Arrival
+		accepted++
+	})
+	inst.Activate()
+	src := &workload.PoissonSource{
+		Rate:    lambda,
+		Service: stats.Exponential{Rate: mu},
+		Horizon: horizon,
+	}
+	src.Start(s, stats.NewRNG(seed), func(q workload.Request) {
+		if inst.Full() {
+			rejected++
+			return
+		}
+		inst.Accept(q)
+	})
+	s.Run()
+	total := accepted + rejected
+	if total == 0 {
+		t.Fatal("no traffic generated")
+	}
+	end := s.Now()
+	return float64(rejected) / float64(total), respSum / float64(accepted), inst.BusyNow(end) / end
+}
+
+func TestSimulatedMM1KMatchesTheory(t *testing.T) {
+	cases := []struct {
+		lambda, mu float64
+		k          int
+	}{
+		{0.5, 1, 2},
+		{0.9, 1, 2},
+		{1.5, 1, 2}, // overloaded
+		{0.8, 1, 5},
+		{2.0, 1, 4}, // heavily overloaded, deeper queue
+	}
+	for _, c := range cases {
+		model := queueing.MM1K{Lambda: c.lambda, Mu: c.mu, K: c.k}
+		blocking, resp, util := simMM1K(t, c.lambda, c.mu, c.k, 300000, 42)
+		if math.Abs(blocking-model.Blocking()) > 0.01 {
+			t.Errorf("λ=%v k=%d: measured blocking %.4f vs theory %.4f",
+				c.lambda, c.k, blocking, model.Blocking())
+		}
+		if math.Abs(resp-model.ResponseTime())/model.ResponseTime() > 0.03 {
+			t.Errorf("λ=%v k=%d: measured response %.4f vs theory %.4f",
+				c.lambda, c.k, resp, model.ResponseTime())
+		}
+		if math.Abs(util-model.CarriedUtilization()) > 0.01 {
+			t.Errorf("λ=%v k=%d: measured utilization %.4f vs theory %.4f",
+				c.lambda, c.k, util, model.CarriedUtilization())
+		}
+	}
+}
+
+// TestSimulatedMD1WaitBelowMM1K verifies the M/G/1 insight end to end:
+// with the paper's near-deterministic service, the simulated wait of an
+// uncapacitated single server is close to the M/D/1 prediction and about
+// half the exponential-service wait.
+func TestSimulatedMD1WaitBelowMM1K(t *testing.T) {
+	s := sim.New()
+	var waitSum float64
+	var n int
+	vm := cloud.VM{ID: 1, Spec: cloud.VMSpec{Cores: 1, RAMMB: 1, Capacity: 1}}
+	inst := app.NewInstance(s, vm, 1000000, func(c app.Completion) {
+		waitSum += c.Start - c.Req.Arrival
+		n++
+	})
+	inst.Activate()
+	src := &workload.PoissonSource{
+		Rate:    0.7,
+		Service: stats.Uniform{Min: 1, Max: 1.1}, // paper-style jitter, mean 1.05
+		Horizon: 400000,
+	}
+	src.Start(s, stats.NewRNG(3), func(q workload.Request) { inst.Accept(q) })
+	s.Run()
+	measured := waitSum / float64(n)
+	model := queueing.MG1{Lambda: 0.7, MeanS: 1.05, CS2: queueing.UniformJitterCS2(0.1)}
+	if math.Abs(measured-model.WaitTime())/model.WaitTime() > 0.05 {
+		t.Fatalf("measured wait %.4f vs P-K %.4f", measured, model.WaitTime())
+	}
+	mm1 := queueing.MM1{Lambda: 0.7, Mu: 1 / 1.05}
+	if measured > 0.6*mm1.WaitTime() {
+		t.Fatalf("near-deterministic wait %.4f should be ≈half of M/M/1's %.4f",
+			measured, mm1.WaitTime())
+	}
+}
+
+// TestSimulatedMMInfNoWaiting validates the provisioner-station
+// abstraction: with one instance per request (infinite servers) nobody
+// waits.
+func TestSimulatedMMInfNoWaiting(t *testing.T) {
+	s := sim.New()
+	var maxWait float64
+	var served int
+	vmID := 0
+	src := &workload.PoissonSource{
+		Rate:    5,
+		Service: stats.Exponential{Rate: 1},
+		Horizon: 5000,
+	}
+	src.Start(s, stats.NewRNG(9), func(q workload.Request) {
+		vmID++
+		vm := cloud.VM{ID: vmID, Spec: cloud.VMSpec{Cores: 1, RAMMB: 1, Capacity: 1}}
+		inst := app.NewInstance(s, vm, 1, func(c app.Completion) {
+			if w := c.Start - c.Req.Arrival; w > maxWait {
+				maxWait = w
+			}
+			served++
+		})
+		inst.Activate()
+		inst.Accept(q)
+	})
+	s.Run()
+	if served == 0 || maxWait != 0 {
+		t.Fatalf("M/M/∞ analogue should never wait: served=%d maxWait=%v", served, maxWait)
+	}
+}

@@ -1,0 +1,140 @@
+// Package report renders experiment outcomes as self-contained Markdown —
+// the shareable artifact of a provisioning study: scenario metadata, the
+// Figure 5/6-style comparison table, per-policy detail including
+// percentiles and energy, and a text sparkline of the adaptive fleet's
+// size over time.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"vmprov/internal/metrics"
+)
+
+// Meta describes the run being reported.
+type Meta struct {
+	Title    string
+	Scenario string
+	Scale    float64
+	Horizon  float64 // simulated seconds
+	Reps     int
+	Seed     uint64
+}
+
+// Markdown renders the full report.
+func Markdown(m Meta, results []metrics.Result, series []metrics.SeriesPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", m.Title)
+	fmt.Fprintf(&b, "- scenario: **%s**, load scale %g\n", m.Scenario, m.Scale)
+	fmt.Fprintf(&b, "- horizon: %s simulated\n", fmtDuration(m.Horizon))
+	fmt.Fprintf(&b, "- replications: %d (seed base %d)\n\n", m.Reps, m.Seed)
+
+	b.WriteString("## Policy comparison\n\n")
+	b.WriteString("| policy | instances | rejection | utilization | VM hours | energy kWh | resp mean ± σ | p95 | p99 | violations |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %s | %d–%d | %.2f%% | %.1f%% | %.1f | %.1f | %.4gs ± %.2g | %.4gs | %.4gs | %d |\n",
+			r.Policy, r.MinInstances, r.MaxInstances, 100*r.RejectionRate,
+			100*r.Utilization, r.VMHours, r.EnergyKWh,
+			r.MeanResponse, r.StdResponse, r.P95Response, r.P99Response, r.Violations)
+	}
+	b.WriteString("\n")
+
+	if len(results) > 1 {
+		b.WriteString("## Headline\n\n")
+		b.WriteString(headline(results))
+		b.WriteString("\n")
+	}
+
+	if len(series) > 1 {
+		b.WriteString("## Fleet size over time (first policy, one replication)\n\n```\n")
+		b.WriteString(Sparkline(series, 72))
+		b.WriteString("\n```\n")
+	}
+	return b.String()
+}
+
+// headline compares the first result (by convention the adaptive policy)
+// against the best QoS-meeting alternative.
+func headline(results []metrics.Result) string {
+	lead := results[0]
+	var rival *metrics.Result
+	for i := range results[1:] {
+		r := &results[1+i]
+		if r.RejectionRate <= lead.RejectionRate+0.01 {
+			if rival == nil || r.VMHours < rival.VMHours {
+				rival = r
+			}
+		}
+	}
+	if rival == nil {
+		return fmt.Sprintf("Only **%s** meets the rejection target; every alternative rejects more traffic.\n", lead.Policy)
+	}
+	saving := 1 - lead.VMHours/rival.VMHours
+	return fmt.Sprintf(
+		"**%s** matches %s on QoS (%.2f%% vs %.2f%% rejection) while spending %.0f%% %s VM hours (%.1f vs %.1f).\n",
+		lead.Policy, rival.Policy, 100*lead.RejectionRate, 100*rival.RejectionRate,
+		100*abs(saving), ifStr(saving >= 0, "fewer", "more"), lead.VMHours, rival.VMHours)
+}
+
+// Sparkline renders an instance-count series as a fixed-width block
+// chart.
+func Sparkline(series []metrics.SeriesPoint, width int) string {
+	if len(series) == 0 || width < 2 {
+		return ""
+	}
+	start := series[0].T
+	end := series[len(series)-1].T
+	if end <= start {
+		return ""
+	}
+	// Resample the step function onto the width grid.
+	vals := make([]int, width)
+	maxV := 1
+	idx := 0
+	for i := 0; i < width; i++ {
+		t := start + (end-start)*float64(i)/float64(width-1)
+		for idx+1 < len(series) && series[idx+1].T <= t {
+			idx++
+		}
+		vals[i] = series[idx].N
+		if vals[i] > maxV {
+			maxV = vals[i]
+		}
+	}
+	blocks := []rune(" ▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	fmt.Fprintf(&b, "max %d\n", maxV)
+	for _, v := range vals {
+		level := v * (len(blocks) - 1) / maxV
+		b.WriteRune(blocks[level])
+	}
+	fmt.Fprintf(&b, "\n%-8s%*s", fmtDuration(start), width-8, fmtDuration(end))
+	return b.String()
+}
+
+func fmtDuration(sec float64) string {
+	switch {
+	case sec >= 86400:
+		return fmt.Sprintf("%.1fd", sec/86400)
+	case sec >= 3600:
+		return fmt.Sprintf("%.1fh", sec/3600)
+	default:
+		return fmt.Sprintf("%.0fs", sec)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func ifStr(cond bool, a, b string) string {
+	if cond {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vmprov/internal/metrics"
+)
+
+func sampleResults() []metrics.Result {
+	return []metrics.Result{
+		{Policy: "Adaptive", MinInstances: 9, MaxInstances: 79, RejectionRate: 0.003,
+			Utilization: 0.85, VMHours: 855, EnergyKWh: 158, MeanResponse: 325,
+			StdResponse: 40, P95Response: 410, P99Response: 430},
+		{Policy: "Static-75", MinInstances: 75, MaxInstances: 75, RejectionRate: 0.0,
+			Utilization: 0.40, VMHours: 1800, EnergyKWh: 332, MeanResponse: 327},
+		{Policy: "Static-45", MinInstances: 45, MaxInstances: 45, RejectionRate: 0.31,
+			Utilization: 0.46, VMHours: 1080, EnergyKWh: 210, MeanResponse: 560},
+	}
+}
+
+func TestMarkdownStructure(t *testing.T) {
+	md := Markdown(Meta{
+		Title: "Scientific scenario", Scenario: "scientific", Scale: 1,
+		Horizon: 86400, Reps: 10, Seed: 1,
+	}, sampleResults(), []metrics.SeriesPoint{{T: 0, N: 9}, {T: 40000, N: 79}, {T: 86400, N: 12}})
+
+	for _, want := range []string{
+		"# Scientific scenario",
+		"## Policy comparison",
+		"| Adaptive | 9–79 |",
+		"| Static-75 | 75–75 |",
+		"## Headline",
+		"## Fleet size over time",
+		"1.0d simulated",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestHeadlinePicksQoSMeetingRival(t *testing.T) {
+	md := Markdown(Meta{Title: "t", Scenario: "s", Scale: 1, Horizon: 10, Reps: 1}, sampleResults(), nil)
+	// The rival must be Static-75 (meets QoS), not the cheaper
+	// Static-45 (31% rejection).
+	if !strings.Contains(md, "matches Static-75") {
+		t.Fatalf("headline picked the wrong rival:\n%s", md)
+	}
+	if !strings.Contains(md, "fewer VM hours") {
+		t.Fatalf("headline lost the saving direction:\n%s", md)
+	}
+}
+
+func TestHeadlineNoRival(t *testing.T) {
+	results := []metrics.Result{
+		{Policy: "Adaptive", RejectionRate: 0.001, VMHours: 100},
+		{Policy: "Static-5", RejectionRate: 0.5, VMHours: 50},
+	}
+	md := Markdown(Meta{Title: "t", Scenario: "s", Scale: 1, Horizon: 10, Reps: 1}, results, nil)
+	if !strings.Contains(md, "Only **Adaptive**") {
+		t.Fatalf("no-rival headline wrong:\n%s", md)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	series := []metrics.SeriesPoint{{T: 0, N: 1}, {T: 50, N: 10}, {T: 100, N: 5}}
+	s := Sparkline(series, 20)
+	if !strings.Contains(s, "max 10") {
+		t.Fatalf("sparkline missing max: %q", s)
+	}
+	if !strings.ContainsRune(s, '█') {
+		t.Fatalf("sparkline missing full block: %q", s)
+	}
+	if Sparkline(nil, 20) != "" || Sparkline(series, 1) != "" {
+		t.Fatal("degenerate sparkline should be empty")
+	}
+	if Sparkline([]metrics.SeriesPoint{{T: 5, N: 1}}, 20) != "" {
+		t.Fatal("single-point sparkline should be empty")
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := map[float64]string{30: "30s", 7200: "2.0h", 172800: "2.0d"}
+	for in, want := range cases {
+		if got := fmtDuration(in); got != want {
+			t.Fatalf("fmtDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

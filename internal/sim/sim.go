@@ -1,0 +1,232 @@
+// Package sim implements the discrete-event simulation kernel underlying
+// the cloud model — the from-scratch substitute for the CloudSim toolkit the
+// paper's evaluation was built on.
+//
+// The kernel is a sequential event-driven engine: a pending-event set
+// ordered by (timestamp, insertion sequence) and a virtual clock. Events are
+// plain closures. Determinism is guaranteed by the total order on events —
+// ties at equal timestamps fire in scheduling order — so a simulation is a
+// pure function of its initial events and random seeds. Parallelism in this
+// codebase happens one level up, across independent replications.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled occurrence. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	time float64
+	seq  uint64
+	fn   func()
+	pos  int // index in the heap, -1 once fired or canceled
+}
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether the event was canceled or has already fired.
+func (e *Event) Canceled() bool { return e.pos < 0 }
+
+// Sim is a discrete-event simulator. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now       float64
+	seq       uint64
+	heap      []*Event
+	stopped   bool
+	processed uint64
+}
+
+// New creates an empty simulator with the clock at zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed returns how many events have been executed.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Pending returns how many events are currently scheduled.
+func (s *Sim) Pending() int { return len(s.heap) }
+
+// Schedule runs fn after delay seconds of virtual time. It panics on a
+// negative delay — scheduling into the past would corrupt causality.
+func (s *Sim) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, s.now))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not precede the current
+// time.
+func (s *Sim) At(t float64, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: At with time %v before now %v", t, s.now))
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn, pos: len(s.heap)}
+	s.seq++
+	s.heap = append(s.heap, e)
+	s.up(e.pos)
+	return e
+}
+
+// Cancel removes a pending event. Canceling an event that already fired or
+// was already canceled is a no-op and reports false.
+func (s *Sim) Cancel(e *Event) bool {
+	if e == nil || e.pos < 0 {
+		return false
+	}
+	i := e.pos
+	last := len(s.heap) - 1
+	s.swap(i, last)
+	s.heap = s.heap[:last]
+	if i < last {
+		s.down(i)
+		s.up(i)
+	}
+	e.pos = -1
+	return true
+}
+
+// Stop halts the run loop after the currently executing event returns.
+// Pending events remain scheduled.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the pending set is empty or
+// Stop is called. It returns the final clock value.
+func (s *Sim) Run() float64 { return s.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock to
+// t (if t is finite and beyond the last event) and returns it. Events
+// scheduled beyond t remain pending, so the simulation can be resumed.
+func (s *Sim) RunUntil(t float64) float64 {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		e := s.heap[0]
+		if e.time > t {
+			break
+		}
+		s.pop()
+		s.now = e.time
+		s.processed++
+		e.fn()
+	}
+	if !s.stopped && !math.IsInf(t, 1) && t > s.now {
+		s.now = t
+	}
+	return s.now
+}
+
+// Step executes exactly one event if any is pending and reports whether it
+// did. Useful in tests.
+func (s *Sim) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := s.heap[0]
+	s.pop()
+	s.now = e.time
+	s.processed++
+	e.fn()
+	return true
+}
+
+// Every schedules fn to run now+delay and then every interval seconds until
+// the returned Ticker is stopped or until (exclusive) the simulation stops
+// producing events. fn receives the firing time.
+func (s *Sim) Every(delay, interval float64, fn func(t float64)) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive interval %v", interval))
+	}
+	tk := &Ticker{sim: s, interval: interval, fn: fn}
+	tk.ev = s.Schedule(delay, tk.fire)
+	return tk
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	sim      *Sim
+	interval float64
+	fn       func(t float64)
+	ev       *Event
+	stopped  bool
+}
+
+func (tk *Ticker) fire() {
+	if tk.stopped {
+		return
+	}
+	tk.fn(tk.sim.Now())
+	if !tk.stopped {
+		tk.ev = tk.sim.Schedule(tk.interval, tk.fire)
+	}
+}
+
+// Stop cancels future firings.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	tk.sim.Cancel(tk.ev)
+}
+
+// heap maintenance: a binary min-heap ordered by (time, seq).
+
+func (s *Sim) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (s *Sim) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].pos = i
+	s.heap[j].pos = j
+}
+
+func (s *Sim) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sim) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (s *Sim) pop() {
+	e := s.heap[0]
+	last := len(s.heap) - 1
+	s.swap(0, last)
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	e.pos = -1
+}

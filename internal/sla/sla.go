@@ -1,0 +1,104 @@
+// Package sla evaluates simulation results against service-level
+// agreements — the paper's future-work direction of "SLA management for
+// trade-offs of QoS between different requests" made concrete: an SLA is
+// a set of per-class commitments (response-time target, rejection cap,
+// deadline-miss cap) with penalties, and an evaluation turns a run's
+// metrics into a compliance-and-penalty report.
+package sla
+
+import (
+	"fmt"
+	"strings"
+
+	"vmprov/internal/metrics"
+)
+
+// Commitment is the agreed service level for one priority class.
+type Commitment struct {
+	Class            int
+	MaxMeanResponse  float64 // 0 = not committed
+	MaxRejectionRate float64 // cap on rejected/offered
+	MaxDeadlineMiss  float64 // cap on deadline misses / accepted (0 with deadlines = strict)
+
+	// Economics: revenue earned per served request and penalty charged
+	// per violated commitment term.
+	RevenuePerRequest float64
+	PenaltyPerBreach  float64
+}
+
+// Agreement is a set of per-class commitments.
+type Agreement struct {
+	Commitments []Commitment
+}
+
+// Breach describes one violated commitment term.
+type Breach struct {
+	Class  int
+	Term   string
+	Limit  float64
+	Actual float64
+}
+
+// String renders the breach.
+func (b Breach) String() string {
+	return fmt.Sprintf("class %d: %s %.4g exceeds limit %.4g", b.Class, b.Term, b.Actual, b.Limit)
+}
+
+// Report is the outcome of evaluating a run against an agreement.
+type Report struct {
+	Breaches []Breach
+	Revenue  float64
+	Penalty  float64
+}
+
+// Compliant reports whether every commitment held.
+func (r Report) Compliant() bool { return len(r.Breaches) == 0 }
+
+// Net returns revenue minus penalties.
+func (r Report) Net() float64 { return r.Revenue - r.Penalty }
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLA: revenue=%.2f penalty=%.2f net=%.2f compliant=%v\n",
+		r.Revenue, r.Penalty, r.Net(), r.Compliant())
+	for _, br := range r.Breaches {
+		fmt.Fprintf(&b, "  breach: %s\n", br.String())
+	}
+	return b.String()
+}
+
+// Evaluate checks per-class run metrics against the agreement. Classes
+// present in the run but not in the agreement are ignored; committed
+// classes absent from the run trivially comply (no traffic, no breach).
+func Evaluate(a Agreement, classes []metrics.ClassResult) Report {
+	byClass := make(map[int]metrics.ClassResult, len(classes))
+	for _, c := range classes {
+		byClass[c.Class] = c
+	}
+	var rep Report
+	for _, cm := range a.Commitments {
+		cr, ok := byClass[cm.Class]
+		if !ok {
+			continue
+		}
+		rep.Revenue += cm.RevenuePerRequest * float64(cr.Accepted)
+		breach := func(term string, limit, actual float64) {
+			rep.Breaches = append(rep.Breaches, Breach{Class: cm.Class, Term: term, Limit: limit, Actual: actual})
+			rep.Penalty += cm.PenaltyPerBreach
+		}
+		if cm.MaxMeanResponse > 0 && cr.MeanResponse > cm.MaxMeanResponse {
+			breach("mean response", cm.MaxMeanResponse, cr.MeanResponse)
+		}
+		if cr.RejectionRate > cm.MaxRejectionRate {
+			breach("rejection rate", cm.MaxRejectionRate, cr.RejectionRate)
+		}
+		if cr.Accepted > 0 {
+			missRate := float64(cr.DeadlineMisses) / float64(cr.Accepted)
+			if missRate > cm.MaxDeadlineMiss {
+				breach("deadline miss rate", cm.MaxDeadlineMiss, missRate)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,84 @@
+package sla
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vmprov/internal/metrics"
+)
+
+func agreement() Agreement {
+	return Agreement{Commitments: []Commitment{
+		{Class: 1, MaxMeanResponse: 2, MaxRejectionRate: 0.01, RevenuePerRequest: 0.10, PenaltyPerBreach: 100},
+		{Class: 0, MaxMeanResponse: 5, MaxRejectionRate: 0.20, RevenuePerRequest: 0.01, PenaltyPerBreach: 10},
+	}}
+}
+
+func TestEvaluateCompliant(t *testing.T) {
+	rep := Evaluate(agreement(), []metrics.ClassResult{
+		{Class: 1, Accepted: 1000, MeanResponse: 1.5, RejectionRate: 0.005},
+		{Class: 0, Accepted: 5000, MeanResponse: 3, RejectionRate: 0.1},
+	})
+	if !rep.Compliant() {
+		t.Fatalf("compliant run reported breaches: %v", rep.Breaches)
+	}
+	within := func(got, want float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+	within(rep.Revenue, 1000*0.10+5000*0.01, "revenue")
+	within(rep.Penalty, 0, "penalty")
+	within(rep.Net(), 150, "net")
+}
+
+func TestEvaluateBreaches(t *testing.T) {
+	rep := Evaluate(agreement(), []metrics.ClassResult{
+		{Class: 1, Accepted: 100, MeanResponse: 3, RejectionRate: 0.05},  // both terms breached
+		{Class: 0, Accepted: 100, MeanResponse: 10, RejectionRate: 0.01}, // response breached
+	})
+	if rep.Compliant() {
+		t.Fatal("breaching run reported compliant")
+	}
+	if len(rep.Breaches) != 3 {
+		t.Fatalf("breaches = %d, want 3: %v", len(rep.Breaches), rep.Breaches)
+	}
+	if math.Abs(rep.Penalty-210) > 1e-9 { // 2×100 + 1×10
+		t.Fatalf("penalty = %v, want 210", rep.Penalty)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "breach") || !strings.Contains(s, "rejection rate") {
+		t.Fatalf("report rendering broken:\n%s", s)
+	}
+}
+
+func TestEvaluateDeadlineTerm(t *testing.T) {
+	a := Agreement{Commitments: []Commitment{
+		{Class: 0, MaxRejectionRate: 1, MaxDeadlineMiss: 0.01, PenaltyPerBreach: 50},
+	}}
+	// 5% of accepted requests missed deadlines: breach.
+	rep := Evaluate(a, []metrics.ClassResult{
+		{Class: 0, Accepted: 1000, DeadlineMisses: 50},
+	})
+	if rep.Compliant() || rep.Penalty != 50 {
+		t.Fatalf("deadline breach not detected: %+v", rep)
+	}
+	// Exactly at the cap: compliant.
+	rep = Evaluate(a, []metrics.ClassResult{
+		{Class: 0, Accepted: 1000, DeadlineMisses: 10},
+	})
+	if !rep.Compliant() {
+		t.Fatalf("cap boundary misreported: %+v", rep)
+	}
+}
+
+func TestEvaluateAbsentClass(t *testing.T) {
+	rep := Evaluate(agreement(), []metrics.ClassResult{
+		{Class: 7, Accepted: 10, MeanResponse: 100, RejectionRate: 1},
+	})
+	if !rep.Compliant() || rep.Revenue != 0 {
+		t.Fatalf("uncommitted class affected the report: %+v", rep)
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import "math"
+
+// CDFer is a distribution with a cumulative distribution function,
+// required by the goodness-of-fit tests.
+type CDFer interface {
+	CDF(x float64) float64
+}
+
+// CDF returns P(X ≤ x) for the exponential distribution.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// CDF returns P(X ≤ x) for the uniform distribution.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Min:
+		return 0
+	case x >= u.Max:
+		return 1
+	default:
+		return (x - u.Min) / (u.Max - u.Min)
+	}
+}
+
+// CDF returns P(X ≤ x) for the normal distribution.
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// CDF returns P(X ≤ x) for the Weibull distribution.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// CDF returns P(X ≤ x) for the log-normal distribution.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{Mu: l.Mu, Sigma: l.Sigma}.CDF(math.Log(x))
+}
+
+// CDF returns P(X ≤ x) for the Pareto distribution.
+func (p Pareto) CDF(x float64) float64 {
+	if x <= p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// CDF returns the degenerate step function.
+func (d Deterministic) CDF(x float64) float64 {
+	if x < d.Value {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sampler is a real-valued probability distribution that can be sampled
+// from an explicit random stream.
+type Sampler interface {
+	// Sample draws one variate.
+	Sample(r *RNG) float64
+	// Mean returns the distribution's analytic mean.
+	Mean() float64
+}
+
+// Deterministic is a degenerate distribution that always yields Value.
+type Deterministic struct{ Value float64 }
+
+// Sample returns Value.
+func (d Deterministic) Sample(*RNG) float64 { return d.Value }
+
+// Mean returns Value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// Exponential is the exponential distribution with the given Rate (λ > 0).
+type Exponential struct{ Rate float64 }
+
+// Sample draws an exponential variate with mean 1/Rate.
+func (e Exponential) Sample(r *RNG) float64 { return r.ExpFloat64() / e.Rate }
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Uniform is the continuous uniform distribution on [Min, Max).
+type Uniform struct{ Min, Max float64 }
+
+// Sample draws a uniform variate in [Min, Max).
+func (u Uniform) Sample(r *RNG) float64 { return u.Min + (u.Max-u.Min)*r.Float64() }
+
+// Mean returns (Min+Max)/2.
+func (u Uniform) Mean() float64 { return (u.Min + u.Max) / 2 }
+
+// Normal is the normal distribution with the given Mean and standard
+// deviation. Samples are not truncated; use TruncatedNormal when negative
+// values are not meaningful.
+type Normal struct{ Mu, Sigma float64 }
+
+// Sample draws a normal variate.
+func (n Normal) Sample(r *RNG) float64 { return n.Mu + n.Sigma*r.NormFloat64() }
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// TruncatedNormal is a normal distribution truncated below at Floor
+// (samples below Floor are clamped). The paper's web workload draws the
+// per-interval request rate from N(r, 0.05r) clamped at zero.
+type TruncatedNormal struct {
+	Mu, Sigma float64
+	Floor     float64
+}
+
+// Sample draws a normal variate clamped at Floor.
+func (n TruncatedNormal) Sample(r *RNG) float64 {
+	return math.Max(n.Floor, n.Mu+n.Sigma*r.NormFloat64())
+}
+
+// Mean returns the mean of the untruncated distribution; for the small
+// relative σ used by the workload models the clamping bias is negligible.
+func (n TruncatedNormal) Mean() float64 { return n.Mu }
+
+// Weibull is the two-parameter Weibull distribution with Shape (α, often
+// written k) and Scale (β, often written λ). The paper's scientific
+// workload is built entirely from Weibull variates, quoting their modes:
+// Weibull(4.25, 7.86) → mode 7.379, Weibull(1.76, 2.11) → mode 1.309,
+// Weibull(1.79, 24.16) → mode 15.298.
+type Weibull struct{ Shape, Scale float64 }
+
+// Sample draws a Weibull variate by inverse-CDF transform:
+// β·(−ln U)^{1/α}.
+func (w Weibull) Sample(r *RNG) float64 {
+	// ExpFloat64 is −ln U with U uniform; it never returns 0, so the
+	// result is strictly positive.
+	return w.Scale * math.Pow(r.ExpFloat64(), 1/w.Shape)
+}
+
+// Mean returns β·Γ(1 + 1/α).
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
+
+// Var returns the analytic variance β²·(Γ(1+2/α) − Γ(1+1/α)²).
+func (w Weibull) Var() float64 {
+	g1 := math.Gamma(1 + 1/w.Shape)
+	g2 := math.Gamma(1 + 2/w.Shape)
+	return w.Scale * w.Scale * (g2 - g1*g1)
+}
+
+// Mode returns the distribution's mode, β·((α−1)/α)^{1/α} for α > 1 and 0
+// otherwise. The paper's workload analyzer predicts arrival rates from the
+// modes of the workload's Weibull components.
+func (w Weibull) Mode() float64 {
+	if w.Shape <= 1 {
+		return 0
+	}
+	return w.Scale * math.Pow((w.Shape-1)/w.Shape, 1/w.Shape)
+}
+
+// LogNormal is the log-normal distribution: exp(N(Mu, Sigma)).
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample draws a log-normal variate.
+func (l LogNormal) Sample(r *RNG) float64 { return math.Exp(l.Mu + l.Sigma*r.NormFloat64()) }
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Erlang is the Erlang distribution: the sum of K independent
+// exponentials of the given Rate.
+type Erlang struct {
+	K    int
+	Rate float64
+}
+
+// Sample draws an Erlang variate.
+func (e Erlang) Sample(r *RNG) float64 {
+	var sum float64
+	for i := 0; i < e.K; i++ {
+		sum += r.ExpFloat64()
+	}
+	return sum / e.Rate
+}
+
+// Mean returns K/Rate.
+func (e Erlang) Mean() float64 { return float64(e.K) / e.Rate }
+
+// Pareto is the Pareto (type I) distribution with minimum Xm and tail
+// index Alpha. Provided for heavy-tailed workload extensions.
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample draws a Pareto variate by inverse CDF.
+func (p Pareto) Sample(r *RNG) float64 {
+	u := r.Float64()
+	// 1-u is in (0,1]; avoid the zero that would yield +Inf for u==... it
+	// cannot: Float64 is in [0,1), so 1-u is in (0,1].
+	return p.Xm / math.Pow(1-u, 1/p.Alpha)
+}
+
+// Mean returns α·Xm/(α−1) for α > 1 and +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Scaled wraps a Sampler, multiplying every variate by Factor. It is used
+// by the workload models to add the paper's uniform 0–10% service-time
+// jitter as service = base · (1 + U(0, 0.1)).
+type Scaled struct {
+	S      Sampler
+	Factor float64
+}
+
+// Sample draws from S and scales it.
+func (s Scaled) Sample(r *RNG) float64 { return s.Factor * s.S.Sample(r) }
+
+// Mean returns Factor · S.Mean().
+func (s Scaled) Mean() float64 { return s.Factor * s.S.Mean() }
+
+// Poisson draws a Poisson-distributed count with the given mean. For small
+// means it uses Knuth multiplication; for large means a normal
+// approximation with continuity correction, which is accurate to well
+// under the sampling noise at mean ≥ 30.
+func Poisson(r *RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := mean + math.Sqrt(mean)*r.NormFloat64() + 0.5
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Validate reports an error for non-sensical distribution parameters. It
+// accepts any of the concrete Sampler types in this package.
+func Validate(s Sampler) error {
+	switch d := s.(type) {
+	case Exponential:
+		if d.Rate <= 0 {
+			return fmt.Errorf("stats: exponential rate must be positive, got %v", d.Rate)
+		}
+	case Uniform:
+		if d.Max < d.Min {
+			return fmt.Errorf("stats: uniform bounds inverted: [%v, %v)", d.Min, d.Max)
+		}
+	case Normal:
+		if d.Sigma < 0 {
+			return fmt.Errorf("stats: normal sigma must be non-negative, got %v", d.Sigma)
+		}
+	case Weibull:
+		if d.Shape <= 0 || d.Scale <= 0 {
+			return fmt.Errorf("stats: weibull shape and scale must be positive, got (%v, %v)", d.Shape, d.Scale)
+		}
+	case Erlang:
+		if d.K <= 0 || d.Rate <= 0 {
+			return fmt.Errorf("stats: erlang needs K>0 and rate>0, got (%d, %v)", d.K, d.Rate)
+		}
+	case Pareto:
+		if d.Xm <= 0 || d.Alpha <= 0 {
+			return fmt.Errorf("stats: pareto xm and alpha must be positive, got (%v, %v)", d.Xm, d.Alpha)
+		}
+	case Deterministic:
+		if d.Value < 0 {
+			return fmt.Errorf("stats: deterministic value must be non-negative, got %v", d.Value)
+		}
+	}
+	return nil
+}

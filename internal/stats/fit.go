@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrFit reports that a sample cannot be fitted (too small, degenerate,
+// or non-positive where positivity is required).
+var ErrFit = errors.New("stats: cannot fit distribution to sample")
+
+// FitExponential estimates the rate by maximum likelihood (1/mean).
+func FitExponential(xs []float64) (Exponential, error) {
+	mean, err := positiveMean(xs)
+	if err != nil {
+		return Exponential{}, err
+	}
+	return Exponential{Rate: 1 / mean}, nil
+}
+
+// FitNormal estimates mean and standard deviation by maximum likelihood.
+func FitNormal(xs []float64) (Normal, error) {
+	if len(xs) < 2 {
+		return Normal{}, ErrFit
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return Normal{Mu: w.Mean(), Sigma: math.Sqrt(w.m2 / float64(w.n))}, nil
+}
+
+// FitLogNormal fits by maximum likelihood on log-transformed data.
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	if len(xs) < 2 {
+		return LogNormal{}, ErrFit
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LogNormal{}, ErrFit
+		}
+		logs[i] = math.Log(x)
+	}
+	n, err := FitNormal(logs)
+	if err != nil {
+		return LogNormal{}, err
+	}
+	return LogNormal{Mu: n.Mu, Sigma: n.Sigma}, nil
+}
+
+// FitWeibull estimates (shape, scale) by maximum likelihood: Newton
+// iteration on the profile-likelihood shape equation
+//
+//	g(k) = Σ xᵏ ln x / Σ xᵏ − 1/k − mean(ln x) = 0,
+//
+// then scale = (Σ xᵏ/n)^{1/k}. It is the estimator behind the workload
+// analysis tooling (the paper derives its scientific workload from
+// Weibull fits of grid traces).
+func FitWeibull(xs []float64) (Weibull, error) {
+	if len(xs) < 3 {
+		return Weibull{}, ErrFit
+	}
+	var meanLog float64
+	for _, x := range xs {
+		if x <= 0 {
+			return Weibull{}, ErrFit
+		}
+		meanLog += math.Log(x)
+	}
+	meanLog /= float64(len(xs))
+
+	// g and g' computed in a numerically careful way: work with
+	// normalized xᵏ terms to avoid overflow for large k.
+	eval := func(k float64) (g, dg float64) {
+		var sx, sxl, sxll float64 // Σxᵏ, Σxᵏlnx, Σxᵏ(lnx)²
+		for _, x := range xs {
+			lx := math.Log(x)
+			xk := math.Exp(k * lx)
+			sx += xk
+			sxl += xk * lx
+			sxll += xk * lx * lx
+		}
+		r := sxl / sx
+		g = r - 1/k - meanLog
+		dg = (sxll*sx-sxl*sxl)/(sx*sx) + 1/(k*k)
+		return g, dg
+	}
+
+	// Menon's moment-style starting point: k ≈ 1.2/σ(ln x).
+	var lw Welford
+	for _, x := range xs {
+		lw.Add(math.Log(x))
+	}
+	k := 1.2 / math.Max(lw.Std(), 1e-6)
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		k = 1
+	}
+	for i := 0; i < 100; i++ {
+		g, dg := eval(k)
+		if math.Abs(g) < 1e-10 {
+			break
+		}
+		next := k - g/dg
+		if next <= 0 || math.IsNaN(next) || math.IsInf(next, 0) {
+			next = k / 2
+		}
+		if math.Abs(next-k) < 1e-12 {
+			k = next
+			break
+		}
+		k = next
+	}
+	if k <= 0 || math.IsNaN(k) || k > 1e4 {
+		return Weibull{}, ErrFit
+	}
+	var sx float64
+	for _, x := range xs {
+		sx += math.Pow(x, k)
+	}
+	scale := math.Pow(sx/float64(len(xs)), 1/k)
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return Weibull{}, ErrFit
+	}
+	return Weibull{Shape: k, Scale: scale}, nil
+}
+
+// KolmogorovSmirnov returns the one-sample KS statistic
+// D = sup |F̂(x) − F(x)| between the sample's empirical CDF and the given
+// distribution.
+func KolmogorovSmirnov(xs []float64, dist CDFer) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var d float64
+	for i, x := range s {
+		f := dist.CDF(x)
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSCritical returns the approximate critical value of the one-sample KS
+// statistic at significance alpha ∈ {0.10, 0.05, 0.01} for sample size n
+// (asymptotic c(α)/√n form, accurate for n ≳ 35).
+func KSCritical(alpha float64, n int) float64 {
+	var c float64
+	switch {
+	case alpha <= 0.01:
+		c = 1.63
+	case alpha <= 0.05:
+		c = 1.36
+	default:
+		c = 1.22
+	}
+	return c / math.Sqrt(float64(n))
+}
+
+func positiveMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrFit
+	}
+	var sum float64
+	for _, x := range xs {
+		if x < 0 {
+			return 0, ErrFit
+		}
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return 0, ErrFit
+	}
+	return mean, nil
+}

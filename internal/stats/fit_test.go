@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// sample draws n variates into a slice.
+func sample(s Sampler, n int, seed uint64) []float64 {
+	r := NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Sample(r)
+	}
+	return xs
+}
+
+func TestFitExponential(t *testing.T) {
+	xs := sample(Exponential{Rate: 2.5}, 100000, 1)
+	got, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, got.Rate, 2.5, 0.02, "rate")
+}
+
+func TestFitNormal(t *testing.T) {
+	xs := sample(Normal{Mu: -3, Sigma: 2}, 100000, 2)
+	got, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-(-3)) > 0.05 {
+		t.Fatalf("mu = %v", got.Mu)
+	}
+	within(t, got.Sigma, 2, 0.02, "sigma")
+}
+
+func TestFitLogNormal(t *testing.T) {
+	xs := sample(LogNormal{Mu: 0.5, Sigma: 0.8}, 100000, 3)
+	got, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, got.Mu, 0.5, 0.05, "mu")
+	within(t, got.Sigma, 0.8, 0.02, "sigma")
+}
+
+// TestFitWeibullPaperParameters recovers the paper's three Weibull
+// parameterizations from synthetic samples — the round trip behind the
+// workload-analysis tooling.
+func TestFitWeibullPaperParameters(t *testing.T) {
+	for i, want := range []Weibull{
+		{Shape: 4.25, Scale: 7.86},
+		{Shape: 1.76, Scale: 2.11},
+		{Shape: 1.79, Scale: 24.16},
+	} {
+		xs := sample(want, 50000, uint64(10+i))
+		got, err := FitWeibull(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within(t, got.Shape, want.Shape, 0.03, "shape")
+		within(t, got.Scale, want.Scale, 0.02, "scale")
+	}
+}
+
+func TestFitWeibullExponentialSpecialCase(t *testing.T) {
+	// Weibull(1, β) is exponential(1/β): the fit should find shape ≈ 1.
+	xs := sample(Exponential{Rate: 0.5}, 50000, 4)
+	got, err := FitWeibull(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, got.Shape, 1, 0.03, "shape")
+	within(t, got.Scale, 2, 0.03, "scale")
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitExponential(nil); err == nil {
+		t.Fatal("empty sample fitted")
+	}
+	if _, err := FitExponential([]float64{-1, 2}); err == nil {
+		t.Fatal("negative sample fitted")
+	}
+	if _, err := FitWeibull([]float64{1, 2}); err == nil {
+		t.Fatal("two-point weibull fitted")
+	}
+	if _, err := FitWeibull([]float64{1, 0, 2, 3}); err == nil {
+		t.Fatal("non-positive weibull sample fitted")
+	}
+	if _, err := FitLogNormal([]float64{1, -2, 3}); err == nil {
+		t.Fatal("negative lognormal sample fitted")
+	}
+	if _, err := FitNormal([]float64{1}); err == nil {
+		t.Fatal("single-point normal fitted")
+	}
+}
+
+func TestCDFs(t *testing.T) {
+	cases := []struct {
+		d    CDFer
+		x    float64
+		want float64
+	}{
+		{Exponential{Rate: 1}, 0, 0},
+		{Exponential{Rate: 1}, 1, 1 - math.Exp(-1)},
+		{Uniform{Min: 0, Max: 2}, 1, 0.5},
+		{Uniform{Min: 0, Max: 2}, -1, 0},
+		{Uniform{Min: 0, Max: 2}, 3, 1},
+		{Normal{Mu: 0, Sigma: 1}, 0, 0.5},
+		{Weibull{Shape: 2, Scale: 1}, 1, 1 - math.Exp(-1)},
+		{Weibull{Shape: 2, Scale: 1}, -1, 0},
+		{Pareto{Xm: 1, Alpha: 2}, 1, 0},
+		{Pareto{Xm: 1, Alpha: 2}, 2, 0.75},
+		{Deterministic{Value: 5}, 4.9, 0},
+		{Deterministic{Value: 5}, 5, 1},
+		{LogNormal{Mu: 0, Sigma: 1}, 1, 0.5},
+		{LogNormal{Mu: 0, Sigma: 1}, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.d.CDF(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%T CDF(%v) = %v, want %v", c.d, c.x, got, c.want)
+		}
+	}
+}
+
+// Property-style check: CDFs are monotone and bounded on a grid.
+func TestCDFMonotone(t *testing.T) {
+	dists := []CDFer{
+		Exponential{Rate: 2},
+		Uniform{Min: -1, Max: 4},
+		Normal{Mu: 1, Sigma: 3},
+		Weibull{Shape: 1.76, Scale: 2.11},
+		LogNormal{Mu: 0.2, Sigma: 0.9},
+		Pareto{Xm: 0.5, Alpha: 1.5},
+	}
+	for _, d := range dists {
+		prev := -1.0
+		for x := -5.0; x <= 50; x += 0.25 {
+			f := d.CDF(x)
+			if f < 0 || f > 1 || f < prev {
+				t.Fatalf("%T CDF not monotone in [0,1] at x=%v: %v after %v", d, x, f, prev)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	// A correct fit passes KS at 5%; a wrong one fails decisively.
+	xs := sample(Weibull{Shape: 4.25, Scale: 7.86}, 2000, 9)
+	dGood := KolmogorovSmirnov(xs, Weibull{Shape: 4.25, Scale: 7.86})
+	dBad := KolmogorovSmirnov(xs, Exponential{Rate: 1 / 7.16})
+	crit := KSCritical(0.05, len(xs))
+	if dGood >= crit {
+		t.Fatalf("true distribution rejected: D=%v crit=%v", dGood, crit)
+	}
+	if dBad <= crit {
+		t.Fatalf("wrong distribution accepted: D=%v crit=%v", dBad, crit)
+	}
+	if KolmogorovSmirnov(nil, Exponential{Rate: 1}) != 0 {
+		t.Fatal("empty-sample KS should be 0")
+	}
+}
+
+func TestKSCriticalOrdering(t *testing.T) {
+	if !(KSCritical(0.01, 100) > KSCritical(0.05, 100) && KSCritical(0.05, 100) > KSCritical(0.10, 100)) {
+		t.Fatal("critical values not ordered by significance")
+	}
+	if KSCritical(0.05, 100) >= KSCritical(0.05, 25) {
+		t.Fatal("critical value should shrink with sample size")
+	}
+}

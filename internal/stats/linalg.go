@@ -1,0 +1,56 @@
+package stats
+
+import "math"
+
+// SolveLinear solves the dense linear system A·x = b by Gaussian
+// elimination with partial pivoting, returning (x, true) on success or
+// (nil, false) when A is (numerically) singular. A is modified. It is
+// sized for the small normal-equation systems of the AR predictors, not
+// for large-scale linear algebra.
+func SolveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, false
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, false
+		}
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for c := i + 1; c < n; c++ {
+			sum -= a[i][c] * x[c]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, true
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, ok := SolveLinear(a, b)
+	if !ok {
+		t.Fatal("solver reported singular for a regular system")
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, ok := SolveLinear(a, []float64{1, 2}); ok {
+		t.Fatal("singular system not detected")
+	}
+}
+
+func TestSolveLinearBadShapes(t *testing.T) {
+	if _, ok := SolveLinear(nil, nil); ok {
+		t.Fatal("empty system should fail")
+	}
+	if _, ok := SolveLinear([][]float64{{1, 2}}, []float64{1}); ok {
+		t.Fatal("non-square system should fail")
+	}
+	if _, ok := SolveLinear([][]float64{{1}}, []float64{1, 2}); ok {
+		t.Fatal("mismatched rhs should fail")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	x, ok := SolveLinear(a, []float64{3, 5})
+	if !ok || math.Abs(x[0]-5) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("pivoting solve failed: %v ok=%v", x, ok)
+	}
+}
+
+// Property: for random well-conditioned systems built as A·x₀, the solver
+// recovers x₀.
+func TestSolveLinearRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%5 + 1
+		r := NewRNG(seed)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+			a[i][i] += float64(n) + 1 // diagonal dominance for conditioning
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = r.NormFloat64() * 10
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range x0 {
+				b[i] += a[i][j] * x0[j]
+			}
+		}
+		x, ok := SolveLinear(a, b)
+		if !ok {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-x0[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

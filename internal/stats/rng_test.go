@@ -1,0 +1,110 @@
+package stats
+
+import "testing"
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestSplitSameLabelSameStream(t *testing.T) {
+	parent := NewRNG(7)
+	a := parent.Split("arrivals")
+	// Draw from the parent in between: Split must not depend on parent
+	// stream position.
+	for i := 0; i < 53; i++ {
+		parent.Float64()
+	}
+	b := parent.Split("arrivals")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-label substreams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDistinctLabelsDiffer(t *testing.T) {
+	parent := NewRNG(7)
+	a := parent.Split("arrivals")
+	b := parent.Split("service")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct-label substreams coincided %d/100 times", same)
+	}
+}
+
+func TestSplitDiffersFromParent(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split("x")
+	fresh := NewRNG(7)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == fresh.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("substream mirrors parent stream (%d/100 equal draws)", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("IntN(7) did not cover all values: %v", seen)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

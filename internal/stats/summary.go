@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford is a streaming accumulator for count, mean, variance, minimum and
+// maximum, using Welford's numerically stable online algorithm. The zero
+// value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the summary.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another summary into this one (parallel Welford
+// combination), enabling per-worker accumulation followed by a reduce.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (w *Welford) Max() float64 { return w.max }
+
+// Sum returns n·mean.
+func (w *Welford) Sum() float64 { return float64(w.n) * w.mean }
+
+// String formats the summary for reports.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g", w.n, w.Mean(), w.Std(), w.min, w.max)
+}
+
+// TimeWeighted accumulates the time-weighted average of a piecewise
+// constant signal, e.g. the number of active application instances over
+// simulated time. Set the initial value with Set at t=0.
+type TimeWeighted struct {
+	last    float64 // current signal value
+	lastT   float64 // time of the last change
+	startT  float64 // time of the first observation
+	area    float64 // ∫ signal dt so far
+	started bool
+	min     float64
+	max     float64
+}
+
+// Set records that the signal changed to v at time t. Times must be
+// non-decreasing.
+func (tw *TimeWeighted) Set(t, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.startT = t
+		tw.lastT = t
+		tw.last = v
+		tw.min, tw.max = v, v
+		return
+	}
+	tw.area += tw.last * (t - tw.lastT)
+	tw.lastT = t
+	tw.last = v
+	if v < tw.min {
+		tw.min = v
+	}
+	if v > tw.max {
+		tw.max = v
+	}
+}
+
+// Average returns the time-weighted mean of the signal over the window
+// from the first observation to t.
+func (tw *TimeWeighted) Average(t float64) float64 {
+	if !tw.started || t <= tw.startT {
+		return tw.last
+	}
+	area := tw.area + tw.last*(t-tw.lastT)
+	return area / (t - tw.startT)
+}
+
+// Integral returns ∫ signal dt over [start, t].
+func (tw *TimeWeighted) Integral(t float64) float64 {
+	if !tw.started {
+		return 0
+	}
+	return tw.area + tw.last*(t-tw.lastT)
+}
+
+// Min returns the smallest value the signal took.
+func (tw *TimeWeighted) Min() float64 { return tw.min }
+
+// Max returns the largest value the signal took.
+func (tw *TimeWeighted) Max() float64 { return tw.max }
+
+// Current returns the present value of the signal.
+func (tw *TimeWeighted) Current() float64 { return tw.last }
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi); observations
+// outside the range are counted in under/overflow buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []uint64
+	Under   uint64
+	Over    uint64
+	total   uint64
+	widthIn float64 // bins per unit
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: NewHistogram requires n > 0 and hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n), widthIn: float64(n) / (hi - lo)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) * h.widthIn)
+		if i >= len(h.Counts) { // guard against floating point edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Quantile returns an approximate q-quantile (0 ≤ q ≤ 1) assuming uniform
+// density within buckets. Underflow mass is attributed to Lo and overflow
+// to Hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	cum := float64(h.Under)
+	if target <= cum {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// Reservoir keeps a fixed-size uniform random sample of a stream, for
+// quantile estimation over request populations too large to retain.
+type Reservoir struct {
+	cap  int
+	n    uint64
+	data []float64
+	rng  *RNG
+}
+
+// NewReservoir creates a reservoir holding at most capacity samples, using
+// the given stream for replacement decisions.
+func NewReservoir(capacity int, rng *RNG) *Reservoir {
+	if capacity <= 0 {
+		panic("stats: NewReservoir requires capacity > 0")
+	}
+	return &Reservoir{cap: capacity, data: make([]float64, 0, capacity), rng: rng}
+}
+
+// Add offers one observation to the reservoir.
+func (rv *Reservoir) Add(x float64) {
+	rv.n++
+	if len(rv.data) < rv.cap {
+		rv.data = append(rv.data, x)
+		return
+	}
+	if j := rv.rng.IntN(int(rv.n)); j < rv.cap {
+		rv.data[j] = x
+	}
+}
+
+// Quantile returns the q-quantile of the retained sample.
+func (rv *Reservoir) Quantile(q float64) float64 {
+	if len(rv.data) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), rv.data...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// N returns how many observations were offered.
+func (rv *Reservoir) N() uint64 { return rv.n }

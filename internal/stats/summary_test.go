@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasic(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	within(t, w.Mean(), 5, 1e-12, "mean")
+	within(t, w.Var(), 32.0/7.0, 1e-12, "var") // unbiased
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+	within(t, w.Sum(), 40, 1e-12, "sum")
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 || w.N() != 0 {
+		t.Fatal("zero-value Welford should report zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Var() != 0 {
+		t.Fatalf("variance of one sample = %v", w.Var())
+	}
+	if w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Fatal("min/max of single sample wrong")
+	}
+}
+
+// Property: merging two partitions of a stream matches accumulating the
+// whole stream.
+func TestWelfordMergeProperty(t *testing.T) {
+	f := func(seed uint64, splitAt uint8) bool {
+		r := NewRNG(seed)
+		n := 200
+		cut := int(splitAt) % n
+		var whole, left, right Welford
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()*3 + 1
+			whole.Add(x)
+			if i < cut {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(right)
+		return left.N() == whole.N() &&
+			math.Abs(left.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(left.Var()-whole.Var()) < 1e-9 &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Fatal("merging empty summary changed state")
+	}
+	b.Merge(a) // merging into empty adopts
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 10)
+	tw.Set(5, 20) // 10 for 5s
+	tw.Set(7, 0)  // 20 for 2s
+	// integral to t=10: 50 + 40 + 0 = 90
+	within(t, tw.Integral(10), 90, 1e-12, "integral")
+	within(t, tw.Average(10), 9, 1e-12, "average")
+	if tw.Min() != 0 || tw.Max() != 20 {
+		t.Fatalf("min/max = %v/%v", tw.Min(), tw.Max())
+	}
+	if tw.Current() != 0 {
+		t.Fatalf("current = %v", tw.Current())
+	}
+}
+
+func TestTimeWeightedLateStart(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(100, 4)
+	within(t, tw.Average(150), 4, 1e-12, "constant signal average")
+	within(t, tw.Integral(150), 200, 1e-12, "integral from late start")
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Integral(10) != 0 {
+		t.Fatal("integral of empty signal should be 0")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if h.Total() != 1000 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < 45 || q50 > 55 {
+		t.Fatalf("median = %v, want ≈50", q50)
+	}
+	q99 := h.Quantile(0.99)
+	if q99 < 95 || q99 > 100 {
+		t.Fatalf("p99 = %v, want ≈99", q99)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(15)
+	h.Add(10) // hi is exclusive
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with hi<=lo should panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestReservoir(t *testing.T) {
+	rv := NewReservoir(100, NewRNG(1))
+	for i := 0; i < 100000; i++ {
+		rv.Add(float64(i))
+	}
+	if rv.N() != 100000 {
+		t.Fatalf("N = %d", rv.N())
+	}
+	med := rv.Quantile(0.5)
+	if med < 30000 || med > 70000 {
+		t.Fatalf("reservoir median = %v, want ≈50000", med)
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	rv := NewReservoir(10, NewRNG(1))
+	rv.Add(5)
+	rv.Add(1)
+	rv.Add(9)
+	if got := rv.Quantile(0.5); got != 5 {
+		t.Fatalf("median of {1,5,9} = %v", got)
+	}
+	empty := NewReservoir(10, NewRNG(1))
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty reservoir quantile should be 0")
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	w := NewWindow(3)
+	if got := w.MeanOr(7); got != 7 {
+		t.Fatalf("empty window MeanOr = %v", got)
+	}
+	w.Add(1)
+	w.Add(2)
+	within(t, w.Mean(), 1.5, 1e-12, "partial window")
+	w.Add(3)
+	w.Add(4) // evicts 1
+	within(t, w.Mean(), 3, 1e-12, "full window")
+	if w.Len() != 3 {
+		t.Fatalf("len = %d", w.Len())
+	}
+}
+
+// Property: window mean equals the mean of the last n observations.
+func TestWindowMeanProperty(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8, countRaw uint8) bool {
+		size := int(sizeRaw)%20 + 1
+		count := int(countRaw) + 1
+		r := NewRNG(seed)
+		w := NewWindow(size)
+		var all []float64
+		for i := 0; i < count; i++ {
+			x := r.Float64() * 100
+			all = append(all, x)
+			w.Add(x)
+		}
+		start := len(all) - size
+		if start < 0 {
+			start = 0
+		}
+		var sum float64
+		for _, x := range all[start:] {
+			sum += x
+		}
+		want := sum / float64(len(all)-start)
+		return math.Abs(w.Mean()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Value(9) != 9 {
+		t.Fatal("uninitialized EWMA should return fallback")
+	}
+	e.Add(10)
+	within(t, e.Value(0), 10, 1e-12, "first obs")
+	e.Add(20)
+	within(t, e.Value(0), 15, 1e-12, "second obs")
+}

@@ -1,0 +1,82 @@
+package stats
+
+// Window is a fixed-capacity sliding window over a stream of observations,
+// maintaining the running mean of the most recent values in O(1) per
+// update. The load predictor uses it to monitor recent request execution
+// times (the paper's monitored Tm).
+type Window struct {
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewWindow creates a window retaining the last n observations.
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		panic("stats: NewWindow requires n > 0")
+	}
+	return &Window{buf: make([]float64, n)}
+}
+
+// Add pushes one observation, evicting the oldest when full.
+func (w *Window) Add(x float64) {
+	if w.full {
+		w.sum -= w.buf[w.next]
+	}
+	w.buf[w.next] = x
+	w.sum += x
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of observations currently held.
+func (w *Window) Len() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Mean returns the mean of the held observations, or fallback when empty.
+func (w *Window) Mean() float64 { return w.MeanOr(0) }
+
+// MeanOr returns the mean of the held observations, or fallback when the
+// window is empty.
+func (w *Window) MeanOr(fallback float64) float64 {
+	n := w.Len()
+	if n == 0 {
+		return fallback
+	}
+	return w.sum / float64(n)
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// Alpha in (0, 1]; larger Alpha weights recent observations more.
+type EWMA struct {
+	Alpha float64
+	val   float64
+	init  bool
+}
+
+// Add folds one observation into the average.
+func (e *EWMA) Add(x float64) {
+	if !e.init {
+		e.val = x
+		e.init = true
+		return
+	}
+	e.val += e.Alpha * (x - e.val)
+}
+
+// Value returns the current average, or fallback when nothing has been
+// observed.
+func (e *EWMA) Value(fallback float64) float64 {
+	if !e.init {
+		return fallback
+	}
+	return e.val
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Record(Event{T: 1, Kind: KindAccept, Req: 7, Inst: 3})
+	w.Record(Event{T: 2, Kind: KindReject, Req: 8})
+	if w.Count() != 2 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindAccept || e.Req != 7 || e.Inst != 3 {
+		t.Fatalf("round-trip wrong: %+v", e)
+	}
+	// Omitted fields stay out of the encoding.
+	if strings.Contains(lines[1], "inst") {
+		t.Fatalf("zero fields should be omitted: %s", lines[1])
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, bytes.ErrTooLarge
+	}
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&failingWriter{})
+	w.Record(Event{T: 1, Kind: KindAccept})
+	w.Record(Event{T: 2, Kind: KindAccept}) // fails
+	w.Record(Event{T: 3, Kind: KindAccept}) // suppressed
+	if w.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+	if w.Count() != 1 {
+		t.Fatalf("count = %d, want 1", w.Count())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{T: float64(i), Kind: KindComplete})
+	}
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].T != 3 || ev[2].T != 5 {
+		t.Fatalf("ring contents wrong: %+v", ev)
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(10)
+	r.Record(Event{T: 1, Kind: KindScale})
+	r.Record(Event{T: 2, Kind: KindAccept})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].T != 1 {
+		t.Fatalf("partial ring wrong: %+v", ev)
+	}
+	if got := r.Filter(KindScale); len(got) != 1 || got[0].T != 1 {
+		t.Fatalf("filter wrong: %+v", got)
+	}
+}
+
+func TestRingPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size ring did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewRing(5), NewRing(5)
+	m := Multi{a, b}
+	m.Record(Event{T: 1, Kind: KindPredict, Value: 3.5})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+)
+
+// SciAnalyzer reproduces the paper's scientific-workload analyzer
+// (Section V-B2). For peak time it estimates the arrival rate from the
+// modes of the model's Weibull components — tasks-per-job mode over the
+// interarrival mode — inflated by PeakFactor (paper: 1.2, "estimated
+// number of tasks is increased by 20%"). For off-peak time it uses the
+// mode of the jobs-per-period distribution times the task mode, divided by
+// the period length and multiplied by OffPeakFactor (paper: 2.6).
+type SciAnalyzer struct {
+	Model         *Scientific
+	PeakFactor    float64 // safety inflation of the peak estimate (paper: 1.2)
+	OffPeakFactor float64 // safety inflation of the off-peak estimate (paper: 2.6)
+	Horizon       float64 // alert schedule bound; zero means one day
+}
+
+// NewSciAnalyzer returns the analyzer with the paper's safety factors.
+func NewSciAnalyzer(m *Scientific) *SciAnalyzer {
+	return &SciAnalyzer{Model: m, PeakFactor: 1.2, OffPeakFactor: 2.6}
+}
+
+// PeakEstimate returns the predicted task arrival rate during peak hours.
+func (a *SciAnalyzer) PeakEstimate() float64 {
+	interMode := a.Model.Interarrival.Mode() // paper: 7.379 s
+	sizeMode := a.Model.Size.Mode()          // paper: 1.309 tasks
+	return a.PeakFactor * a.Model.Scale * sizeMode / interMode
+}
+
+// OffPeakEstimate returns the predicted task arrival rate off peak.
+func (a *SciAnalyzer) OffPeakEstimate() float64 {
+	jobsMode := a.Model.OffPeakJobs.Mode() // paper: 15.298 jobs / 30 min
+	sizeMode := a.Model.Size.Mode()
+	return a.OffPeakFactor * a.Model.Scale * jobsMode * sizeMode / a.Model.OffPeakPeriod
+}
+
+// Start emits the off-peak estimate at t=0 and alternates peak/off-peak
+// alerts at the window boundaries of each simulated day.
+func (a *SciAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
+	horizon := a.Horizon
+	if horizon <= 0 {
+		horizon = Day
+	}
+	alert(a.OffPeakEstimate())
+	for day := 0; float64(day)*Day < horizon; day++ {
+		base := float64(day) * Day
+		if t := base + a.Model.PeakStart; t > 0 && t <= horizon {
+			s.At(t, func() { alert(a.PeakEstimate()) })
+		}
+		if t := base + a.Model.PeakEnd; t > 0 && t <= horizon {
+			s.At(t, func() { alert(a.OffPeakEstimate()) })
+		}
+	}
+}
+
+// WindowAnalyzer is an empirical analyzer (an instance of the paper's
+// future-work direction of handling arbitrary workloads): it counts
+// observed arrivals over fixed windows and predicts the next window's
+// rate as Safety times the maximum of the last Windows window rates.
+// It needs no model of the workload at all.
+type WindowAnalyzer struct {
+	Interval float64 // observation window length (s)
+	Windows  int     // how many recent windows to consider
+	Safety   float64 // multiplicative safety margin, e.g. 1.2
+	Horizon  float64 // stop alerting after this time (0 = run forever)
+
+	count   int
+	history []float64
+}
+
+// Observe records one arrival at time t; the driver calls this for every
+// request reaching the admission controller.
+func (w *WindowAnalyzer) Observe(float64) { w.count++ }
+
+// Start emits an alert at the end of every window with the predicted rate
+// for the next window. Until the first window completes the estimate is
+// zero, so pair this analyzer with a sensible initial fleet or a hybrid
+// model-based warm-up.
+func (w *WindowAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
+	if w.Interval <= 0 {
+		panic("workload: WindowAnalyzer needs a positive Interval")
+	}
+	if w.Windows <= 0 {
+		w.Windows = 1
+	}
+	if w.Safety == 0 {
+		w.Safety = 1
+	}
+	tk := s.Every(w.Interval, w.Interval, func(now float64) {
+		rate := float64(w.count) / w.Interval
+		w.count = 0
+		w.history = append(w.history, rate)
+		if len(w.history) > w.Windows {
+			w.history = w.history[len(w.history)-w.Windows:]
+		}
+		max := 0.0
+		for _, r := range w.history {
+			if r > max {
+				max = r
+			}
+		}
+		alert(w.Safety * max)
+	})
+	if w.Horizon > 0 {
+		s.At(w.Horizon, tk.Stop)
+	}
+}
+
+// ARAnalyzer is an autoregressive empirical analyzer: it fits an AR(p)
+// model to the sequence of per-window observed arrival rates by ordinary
+// least squares and predicts the next window's rate, inflated by Safety.
+// This is a stdlib-only stand-in for the ARMAX-class predictors the paper
+// lists as future work.
+type ARAnalyzer struct {
+	Interval float64 // observation window length (s)
+	Order    int     // AR order p (≥ 1)
+	Fit      int     // number of recent windows used for fitting (≥ 2p+2)
+	Safety   float64 // multiplicative safety margin
+	Horizon  float64 // stop alerting after this time (0 = run forever)
+
+	count   int
+	history []float64
+}
+
+// Observe records one arrival.
+func (a *ARAnalyzer) Observe(float64) { a.count++ }
+
+// Start closes each window, refits the AR model, and alerts with the
+// one-step-ahead forecast. While fewer than Fit windows are available it
+// falls back to the most recent window's rate.
+func (a *ARAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
+	if a.Interval <= 0 {
+		panic("workload: ARAnalyzer needs a positive Interval")
+	}
+	if a.Order < 1 {
+		a.Order = 1
+	}
+	if a.Fit < 2*a.Order+2 {
+		a.Fit = 2*a.Order + 2
+	}
+	if a.Safety == 0 {
+		a.Safety = 1
+	}
+	tk := s.Every(a.Interval, a.Interval, func(now float64) {
+		rate := float64(a.count) / a.Interval
+		a.count = 0
+		a.history = append(a.history, rate)
+		if len(a.history) > a.Fit {
+			a.history = a.history[len(a.history)-a.Fit:]
+		}
+		pred := a.forecast()
+		if pred < 0 {
+			pred = 0
+		}
+		alert(a.Safety * pred)
+	})
+	if a.Horizon > 0 {
+		s.At(a.Horizon, tk.Stop)
+	}
+}
+
+// forecast returns the one-step AR(p) prediction from the current history,
+// or the last observation when the fit is under-determined or singular.
+func (a *ARAnalyzer) forecast() float64 {
+	h := a.history
+	n := len(h)
+	p := a.Order
+	if n < p+2 {
+		return h[n-1]
+	}
+	// Build the regression y_t = c + Σ φ_i y_{t-i} over the available rows.
+	cols := p + 1 // intercept + p lags
+	xtx := make([][]float64, cols)
+	for i := range xtx {
+		xtx[i] = make([]float64, cols)
+	}
+	xty := make([]float64, cols)
+	for t := p; t < n; t++ {
+		row := make([]float64, cols)
+		row[0] = 1
+		for i := 1; i <= p; i++ {
+			row[i] = h[t-i]
+		}
+		for i := 0; i < cols; i++ {
+			for j := 0; j < cols; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * h[t]
+		}
+	}
+	beta, ok := stats.SolveLinear(xtx, xty)
+	if !ok {
+		return h[n-1]
+	}
+	pred := beta[0]
+	for i := 1; i <= p; i++ {
+		pred += beta[i] * h[n-i]
+	}
+	if math.IsNaN(pred) || math.IsInf(pred, 0) {
+		return h[n-1]
+	}
+	return pred
+}

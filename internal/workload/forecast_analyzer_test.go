@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vmprov/internal/forecast"
+	"vmprov/internal/sim"
+)
+
+func TestForecastAnalyzerHoltAnticipatesRamp(t *testing.T) {
+	fa := &ForecastAnalyzer{
+		Interval:   10,
+		Forecaster: &forecast.Holt{Alpha: 0.8, Beta: 0.8},
+		Safety:     1,
+	}
+	s := sim.New()
+	var alerts []float64
+	fa.Start(s, func(l float64) { alerts = append(alerts, l) })
+	// Ramp: window w receives 10·(w+1) arrivals → rates 1, 2, 3, ...
+	for w := 0; w < 12; w++ {
+		n := 10 * (w + 1)
+		for i := 0; i < n; i++ {
+			at := float64(w)*10 + 10*float64(i)/float64(n)
+			s.At(at, func() { fa.Observe(s.Now()) })
+		}
+	}
+	s.RunUntil(120)
+	last := alerts[len(alerts)-1]
+	// Last observed rate is 12/s; Holt must extrapolate to ≈13.
+	if last < 12.5 || last > 14 {
+		t.Fatalf("holt analyzer forecast = %v, want ≈13", last)
+	}
+}
+
+func TestForecastAnalyzerSafetyAndClamp(t *testing.T) {
+	fa := &ForecastAnalyzer{
+		Interval:   10,
+		Forecaster: &forecast.Holt{Alpha: 1, Beta: 1},
+		Safety:     2,
+		Horizon:    100,
+	}
+	s := sim.New()
+	var alerts []float64
+	fa.Start(s, func(l float64) { alerts = append(alerts, l) })
+	// Sharply decreasing counts drive the Holt forecast negative; the
+	// analyzer must clamp at zero.
+	counts := []int{40, 10, 0, 0, 0}
+	for w, n := range counts {
+		for i := 0; i < n; i++ {
+			at := float64(w)*10 + 10*float64(i)/float64(n)
+			s.At(at, func() { fa.Observe(s.Now()) })
+		}
+	}
+	s.RunUntil(60)
+	for _, a := range alerts {
+		if a < 0 || math.IsNaN(a) {
+			t.Fatalf("alert %v escaped the clamp", a)
+		}
+	}
+	// First alert: rate 4/s × safety 2 = 8.
+	if math.Abs(alerts[0]-8) > 1e-9 {
+		t.Fatalf("safety factor not applied: %v", alerts[0])
+	}
+}
+
+func TestForecastAnalyzerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing forecaster did not panic")
+		}
+	}()
+	fa := &ForecastAnalyzer{Interval: 10}
+	fa.Start(sim.New(), func(float64) {})
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+)
+
+// MMPPSource is a two-state Markov-modulated Poisson process: the arrival
+// rate alternates between two levels with exponentially distributed
+// sojourns. It produces burstier-than-Poisson traffic with the same mean,
+// the canonical stress case for the paper's "highly dynamic workload"
+// challenge, and is used by the burstiness ablation.
+type MMPPSource struct {
+	Rates    [2]float64 // arrival rate in each state
+	Sojourns [2]float64 // mean time spent in each state (s)
+	Service  stats.Sampler
+	Horizon  float64 // stop generating after this time (0 = never)
+
+	state int
+	ids   counter
+}
+
+// MeanRate returns the long-run average rate, weighting each state's rate
+// by its stationary probability.
+func (m *MMPPSource) MeanRate(float64) float64 {
+	total := m.Sojourns[0] + m.Sojourns[1]
+	if total == 0 {
+		return 0
+	}
+	return (m.Rates[0]*m.Sojourns[0] + m.Rates[1]*m.Sojourns[1]) / total
+}
+
+// Burstiness returns the ratio of the peak state rate to the mean rate.
+func (m *MMPPSource) Burstiness() float64 {
+	mean := m.MeanRate(0)
+	if mean == 0 {
+		return 0
+	}
+	return math.Max(m.Rates[0], m.Rates[1]) / mean
+}
+
+// Start schedules the modulated arrival chain. The process is exact: on
+// every state flip the pending interarrival gap is re-drawn under the new
+// state's rate, which is valid because exponential gaps are memoryless.
+func (m *MMPPSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
+	arr := r.Split("mmpp/arrivals")
+	svc := r.Split("mmpp/service")
+	mod := r.Split("mmpp/modulation")
+
+	var pending *sim.Event
+	var arrive func()
+	schedule := func() {
+		pending = nil
+		rate := m.Rates[m.state]
+		if rate <= 0 {
+			return // silent state: the next flip reschedules
+		}
+		pending = s.Schedule(arr.ExpFloat64()/rate, arrive)
+	}
+	arrive = func() {
+		now := s.Now()
+		pending = nil
+		if m.Horizon > 0 && now >= m.Horizon {
+			return
+		}
+		emit(Request{ID: m.ids.next(), Arrival: now, Service: m.Service.Sample(svc)})
+		schedule()
+	}
+
+	// State switching chain: cancel any pending arrival and redraw its
+	// gap under the new rate.
+	var flip func()
+	flip = func() {
+		m.state = 1 - m.state
+		if pending != nil {
+			s.Cancel(pending)
+		}
+		if m.Horizon == 0 || s.Now() < m.Horizon {
+			schedule()
+			s.Schedule(mod.ExpFloat64()*m.Sojourns[m.state], flip)
+		}
+	}
+	s.Schedule(mod.ExpFloat64()*m.Sojourns[0], flip)
+	schedule()
+}
+
+// SinusoidSource is a non-homogeneous Poisson process with rate
+// Base + Amp·sin(2πt/Period + Phase), generated exactly by thinning
+// against the envelope Base+|Amp|. It generalizes the web workload's
+// diurnal shape to arbitrary periods for custom experiments.
+type SinusoidSource struct {
+	Base    float64 // mean rate (must exceed |Amp| for a valid process)
+	Amp     float64 // amplitude
+	Period  float64 // seconds per cycle
+	Phase   float64 // radians
+	Service stats.Sampler
+	Horizon float64
+
+	ids counter
+}
+
+// MeanRate returns the instantaneous expected rate at time t.
+func (ss *SinusoidSource) MeanRate(t float64) float64 {
+	r := ss.Base + ss.Amp*math.Sin(2*math.Pi*t/ss.Period+ss.Phase)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Start schedules the thinned arrival chain.
+func (ss *SinusoidSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
+	if ss.Period <= 0 {
+		panic("workload: SinusoidSource needs a positive Period")
+	}
+	arr := r.Split("sin/arrivals")
+	svc := r.Split("sin/service")
+	envelope := ss.Base + math.Abs(ss.Amp)
+	if envelope <= 0 {
+		return
+	}
+	var next func()
+	next = func() {
+		now := s.Now()
+		if ss.Horizon > 0 && now >= ss.Horizon {
+			return
+		}
+		// Thinning: accept a candidate with probability rate(t)/envelope.
+		if arr.Float64()*envelope < ss.MeanRate(now) {
+			emit(Request{ID: ss.ids.next(), Arrival: now, Service: ss.Service.Sample(svc)})
+		}
+		s.Schedule(arr.ExpFloat64()/envelope, next)
+	}
+	s.Schedule(arr.ExpFloat64()/envelope, next)
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+)
+
+func TestMMPPMeanRate(t *testing.T) {
+	m := &MMPPSource{
+		Rates:    [2]float64{2, 18},
+		Sojourns: [2]float64{300, 100},
+		Service:  stats.Deterministic{Value: 1},
+	}
+	// Stationary mean: (2·300 + 18·100)/400 = 6.
+	if got := m.MeanRate(0); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("mean rate = %v, want 6", got)
+	}
+	if got := m.Burstiness(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("burstiness = %v, want 3", got)
+	}
+}
+
+func TestMMPPVolumeMatchesMean(t *testing.T) {
+	m := &MMPPSource{
+		Rates:    [2]float64{2, 18},
+		Sojourns: [2]float64{300, 100},
+		Service:  stats.Deterministic{Value: 1},
+		Horizon:  200000,
+	}
+	s := sim.New()
+	n := 0
+	m.Start(s, stats.NewRNG(4), func(Request) { n++ })
+	s.Run()
+	want := 6.0 * 200000
+	if math.Abs(float64(n)-want)/want > 0.05 {
+		t.Fatalf("volume %d, want ≈%.0f", n, want)
+	}
+}
+
+// TestMMPPBurstierThanPoisson: the index of dispersion of per-window
+// counts must exceed 1 (Poisson) by a clear margin.
+func TestMMPPBurstierThanPoisson(t *testing.T) {
+	m := &MMPPSource{
+		Rates:    [2]float64{1, 19},
+		Sojourns: [2]float64{200, 200},
+		Service:  stats.Deterministic{Value: 1},
+		Horizon:  100000,
+	}
+	s := sim.New()
+	window := 100.0
+	counts := make([]float64, int(100000/window))
+	m.Start(s, stats.NewRNG(5), func(q Request) {
+		if i := int(q.Arrival / window); i < len(counts) {
+			counts[i]++
+		}
+	})
+	s.Run()
+	var w stats.Welford
+	for _, c := range counts {
+		w.Add(c)
+	}
+	dispersion := w.Var() / w.Mean()
+	if dispersion < 3 {
+		t.Fatalf("index of dispersion %.2f, want ≫1 for MMPP", dispersion)
+	}
+}
+
+// TestMMPPSilentState locks the state-flip resampling: a process that
+// starts in a silent (rate 0) state must still produce its stationary
+// volume, with all arrivals inside active states.
+func TestMMPPSilentState(t *testing.T) {
+	m := &MMPPSource{
+		Rates:    [2]float64{0, 20},
+		Sojourns: [2]float64{300, 300},
+		Service:  stats.Deterministic{Value: 1},
+		Horizon:  100000,
+	}
+	s := sim.New()
+	n := 0
+	m.Start(s, stats.NewRNG(7), func(Request) { n++ })
+	s.Run()
+	want := 10.0 * 100000 // stationary mean rate 10
+	if math.Abs(float64(n)-want)/want > 0.10 {
+		t.Fatalf("silent-state MMPP volume %d, want ≈%.0f", n, want)
+	}
+}
+
+func TestMMPPStopsAtHorizon(t *testing.T) {
+	m := &MMPPSource{
+		Rates:    [2]float64{5, 50},
+		Sojourns: [2]float64{100, 100},
+		Service:  stats.Deterministic{Value: 1},
+		Horizon:  1000,
+	}
+	s := sim.New()
+	last := 0.0
+	m.Start(s, stats.NewRNG(8), func(q Request) { last = q.Arrival })
+	end := s.Run()
+	if last >= 1000 {
+		t.Fatalf("arrival at %v past horizon", last)
+	}
+	// The flip chain must also terminate so the simulation drains.
+	if end > 1300 {
+		t.Fatalf("simulation ran to %v; flip chain did not stop", end)
+	}
+}
+
+func TestSinusoidMeanRate(t *testing.T) {
+	ss := &SinusoidSource{Base: 10, Amp: 5, Period: 100, Service: stats.Deterministic{Value: 1}}
+	if got := ss.MeanRate(0); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("rate at phase 0 = %v, want 10", got)
+	}
+	if got := ss.MeanRate(25); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("rate at quarter period = %v, want 15", got)
+	}
+	if got := ss.MeanRate(75); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("rate at three quarters = %v, want 5", got)
+	}
+	// Clamping: amp > base must not produce negative rates.
+	neg := &SinusoidSource{Base: 1, Amp: 5, Period: 100, Service: stats.Deterministic{Value: 1}}
+	if neg.MeanRate(75) != 0 {
+		t.Fatalf("negative rate not clamped: %v", neg.MeanRate(75))
+	}
+}
+
+func TestSinusoidVolumeAndShape(t *testing.T) {
+	ss := &SinusoidSource{
+		Base: 10, Amp: 8, Period: 1000,
+		Service: stats.Deterministic{Value: 1},
+		Horizon: 100000,
+	}
+	s := sim.New()
+	var crest, trough int
+	n := 0
+	ss.Start(s, stats.NewRNG(6), func(q Request) {
+		n++
+		phase := math.Mod(q.Arrival, 1000)
+		switch {
+		case phase >= 150 && phase < 350: // around the crest (t=250)
+			crest++
+		case phase >= 650 && phase < 850: // around the trough (t=750)
+			trough++
+		}
+	})
+	s.Run()
+	want := 10.0 * 100000 // mean rate × horizon
+	if math.Abs(float64(n)-want)/want > 0.05 {
+		t.Fatalf("volume %d, want ≈%.0f", n, want)
+	}
+	if crest < 4*trough {
+		t.Fatalf("crest %d vs trough %d: sinusoid shape not realized", crest, trough)
+	}
+}
+
+func TestSinusoidPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	ss := &SinusoidSource{Base: 1, Period: 0, Service: stats.Deterministic{Value: 1}}
+	ss.Start(sim.New(), stats.NewRNG(1), func(Request) {})
+}

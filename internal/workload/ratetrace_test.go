@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+)
+
+func TestRateTraceInterpolation(t *testing.T) {
+	rt := &RateTraceSource{
+		Times:   []float64{0, 100, 200},
+		Rates:   []float64{10, 30, 0},
+		Service: stats.Deterministic{Value: 1},
+	}
+	if err := rt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{
+		-5: 10, 0: 10, 50: 20, 100: 30, 150: 15, 200: 0, 999: 0,
+	}
+	for x, want := range cases {
+		if got := rt.MeanRate(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("MeanRate(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRateTraceCycle(t *testing.T) {
+	rt := &RateTraceSource{
+		Times:   []float64{0, 100},
+		Rates:   []float64{0, 20},
+		Service: stats.Deterministic{Value: 1},
+		Cycle:   true,
+	}
+	if got := rt.MeanRate(150); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("cyclic MeanRate(150) = %v, want 10", got)
+	}
+	if got := rt.MeanRate(250); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("cyclic MeanRate(250) = %v, want 10", got)
+	}
+}
+
+func TestRateTraceVolumeAndShape(t *testing.T) {
+	rt := &RateTraceSource{
+		Times:   []float64{0, 500, 1000},
+		Rates:   []float64{5, 50, 5},
+		Service: stats.Deterministic{Value: 1},
+	}
+	s := sim.New()
+	var first, second int
+	rt.Start(s, stats.NewRNG(1), func(q Request) {
+		if q.Arrival < 500 {
+			first++
+		} else {
+			second++
+		}
+	})
+	s.Run()
+	// Each half integrates to 500·(5+50)/2 = 13750 expected arrivals.
+	total := float64(first + second)
+	if math.Abs(total-27500)/27500 > 0.05 {
+		t.Fatalf("trace volume %v, want ≈27500", total)
+	}
+	// Symmetric triangle: halves within 10% of each other.
+	if ratio := float64(first) / float64(second); ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("rising/falling halves imbalanced: %v vs %v", first, second)
+	}
+}
+
+func TestRateTraceStopsAtEnd(t *testing.T) {
+	rt := &RateTraceSource{
+		Times:   []float64{0, 100},
+		Rates:   []float64{20, 20},
+		Service: stats.Deterministic{Value: 1},
+	}
+	s := sim.New()
+	last := 0.0
+	rt.Start(s, stats.NewRNG(2), func(q Request) { last = q.Arrival })
+	end := s.Run()
+	if last >= 100 {
+		t.Fatalf("arrival at %v past trace end", last)
+	}
+	if end > 200 {
+		t.Fatalf("thinning chain did not terminate: end=%v", end)
+	}
+}
+
+func TestRateTraceValidation(t *testing.T) {
+	bad := []*RateTraceSource{
+		{Times: []float64{0}, Rates: []float64{1}},
+		{Times: []float64{0, 1}, Rates: []float64{1}},
+		{Times: []float64{0, 0}, Rates: []float64{1, 2}},
+		{Times: []float64{0, 1}, Rates: []float64{1, -2}},
+	}
+	for i, rt := range bad {
+		if rt.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+)
+
+func TestScientificMeanRateLevels(t *testing.T) {
+	sc := NewScientific(1)
+	// E[tasks] = E[max(1,⌊X⌋)] ≈ 1.62.
+	if mt := sc.MeanTasks(); mt < 1.55 || mt > 1.70 {
+		t.Fatalf("mean tasks per job = %v, want ≈1.62", mt)
+	}
+	// Peak: E[tasks]/E[interarrival] ≈ 1.62/7.152 ≈ 0.226 req/s.
+	peak := sc.MeanRate(10 * 3600)
+	if peak < 0.21 || peak > 0.24 {
+		t.Fatalf("peak mean rate = %v, want ≈0.226", peak)
+	}
+	// Off-peak: E[jobs]·E[tasks]/1800 ≈ 21.49·1.62/1800 ≈ 0.0193 req/s.
+	off := sc.MeanRate(3 * 3600)
+	if off < 0.017 || off > 0.022 {
+		t.Fatalf("off-peak mean rate = %v, want ≈0.019", off)
+	}
+	if peak/off < 8 {
+		t.Fatalf("peak/off-peak ratio = %v, want ≈12", peak/off)
+	}
+	// Boundaries.
+	if sc.MeanRate(8*3600) != peak {
+		t.Fatal("08:00 should already be peak")
+	}
+	if sc.MeanRate(17*3600) != off {
+		t.Fatal("17:00 should already be off-peak")
+	}
+}
+
+// TestScientificDailyVolume pins the one-day request volume to the
+// paper's reported average of 8286 requests per one-day simulation
+// (analytic expectation of the model: ≈8.37k tasks).
+func TestScientificDailyVolume(t *testing.T) {
+	var totals []int
+	for seed := uint64(0); seed < 3; seed++ {
+		sc := NewScientific(1)
+		s := sim.New()
+		n := 0
+		sc.Start(s, stats.NewRNG(seed), func(q Request) {
+			n++
+			if q.Service < 300 || q.Service > 330 {
+				t.Fatalf("service time %v outside [300, 330]", q.Service)
+			}
+		})
+		s.RunUntil(Day)
+		totals = append(totals, n)
+	}
+	for _, n := range totals {
+		if n < 7400 || n > 9400 {
+			t.Fatalf("one-day volume %d outside band [7400, 9400] (paper: 8286)", n)
+		}
+	}
+}
+
+func TestScientificPeakConcentration(t *testing.T) {
+	sc := NewScientific(1)
+	s := sim.New()
+	var peak, off int
+	sc.Start(s, stats.NewRNG(5), func(q Request) {
+		tod := math.Mod(q.Arrival, Day)
+		if tod >= sc.PeakStart && tod < sc.PeakEnd {
+			peak++
+		} else {
+			off++
+		}
+	})
+	s.RunUntil(Day)
+	if peak < 5*off {
+		t.Fatalf("peak=%d off=%d: peak window should dominate volume", peak, off)
+	}
+	if off == 0 {
+		t.Fatal("off-peak generated nothing")
+	}
+}
+
+func TestScientificScaleChangesJobRateOnly(t *testing.T) {
+	count := func(scale float64, seed uint64) int {
+		sc := NewScientific(scale)
+		s := sim.New()
+		n := 0
+		sc.Start(s, stats.NewRNG(seed), func(Request) { n++ })
+		s.RunUntil(Day)
+		return n
+	}
+	full := count(1, 3)
+	half := count(0.5, 3)
+	ratio := float64(half) / float64(full)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("scale 0.5 produced ratio %v, want ≈0.5", ratio)
+	}
+}
+
+func TestScientificMultiDay(t *testing.T) {
+	sc := NewScientific(0.5)
+	s := sim.New()
+	var day1, day2 int
+	sc.Start(s, stats.NewRNG(9), func(q Request) {
+		if q.Arrival < Day {
+			day1++
+		} else {
+			day2++
+		}
+	})
+	s.RunUntil(2 * Day)
+	if day1 == 0 || day2 == 0 {
+		t.Fatalf("multi-day generation broke: day1=%d day2=%d", day1, day2)
+	}
+	ratio := float64(day2) / float64(day1)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("days should have similar volume, got ratio %v", ratio)
+	}
+}
+
+func TestScientificDeterministic(t *testing.T) {
+	run := func() int {
+		sc := NewScientific(1)
+		s := sim.New()
+		n := 0
+		sc.Start(s, stats.NewRNG(11), func(Request) { n++ })
+		s.RunUntil(Day)
+		return n
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replications diverge: %d vs %d", a, b)
+	}
+}
+
+func TestSciAnalyzerEstimates(t *testing.T) {
+	sc := NewScientific(1)
+	a := NewSciAnalyzer(sc)
+	// Paper: peak estimate = 1.2·1.309/7.379 tasks/s.
+	wantPeak := 1.2 * 1.309 / 7.379
+	if got := a.PeakEstimate(); math.Abs(got-wantPeak)/wantPeak > 0.001 {
+		t.Fatalf("peak estimate = %v, want %v", got, wantPeak)
+	}
+	// Paper: off-peak estimate = 2.6·15.298·1.309/1800 tasks/s.
+	wantOff := 2.6 * 15.298 * 1.309 / 1800
+	if got := a.OffPeakEstimate(); math.Abs(got-wantOff)/wantOff > 0.001 {
+		t.Fatalf("off-peak estimate = %v, want %v", got, wantOff)
+	}
+	// The deliberate overestimation the paper describes: estimates exceed
+	// the true mean rates.
+	if a.PeakEstimate() <= sc.MeanRate(10*3600)*0.75 {
+		t.Fatal("peak estimate suspiciously low")
+	}
+	if a.OffPeakEstimate() <= sc.MeanRate(0) {
+		t.Fatal("off-peak estimate must exceed the true off-peak rate")
+	}
+}
+
+func TestSciAnalyzerAlertSchedule(t *testing.T) {
+	sc := NewScientific(1)
+	a := NewSciAnalyzer(sc)
+	a.Horizon = Day
+	s := sim.New()
+	type alert struct{ t, lambda float64 }
+	var alerts []alert
+	a.Start(s, func(l float64) { alerts = append(alerts, alert{s.Now(), l}) })
+	s.Run()
+	if len(alerts) != 3 {
+		t.Fatalf("got %d alerts, want 3 (t=0, 08:00, 17:00): %+v", len(alerts), alerts)
+	}
+	if alerts[0].t != 0 || alerts[1].t != 8*3600 || alerts[2].t != 17*3600 {
+		t.Fatalf("alert times wrong: %+v", alerts)
+	}
+	if !(alerts[1].lambda > alerts[0].lambda && alerts[1].lambda > alerts[2].lambda) {
+		t.Fatalf("peak alert should carry the largest estimate: %+v", alerts)
+	}
+	if alerts[0].lambda != alerts[2].lambda {
+		t.Fatal("both off-peak alerts should carry the same estimate")
+	}
+}

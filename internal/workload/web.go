@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+)
+
+// Day length in seconds; the denominator of the paper's Equation 2.
+const Day = 86400.0
+
+// Week is seven days in seconds; the web scenario simulates one week.
+const Week = 7 * Day
+
+// DayRate holds the minimum and maximum requests/second of one weekday
+// (one row of the paper's Table II).
+type DayRate struct {
+	Min, Max float64
+}
+
+// WikipediaRates is the paper's Table II: minimum and maximum number of
+// requests per second on each week day of the web workload, indexed
+// Sunday=0 through Saturday=6.
+var WikipediaRates = [7]DayRate{
+	{Min: 400, Max: 900},  // Sunday
+	{Min: 500, Max: 1000}, // Monday
+	{Min: 500, Max: 1200}, // Tuesday
+	{Min: 500, Max: 1200}, // Wednesday
+	{Min: 500, Max: 1200}, // Thursday
+	{Min: 500, Max: 1200}, // Friday
+	{Min: 500, Max: 1000}, // Saturday
+}
+
+// Monday is the weekday index the paper's web simulation starts on
+// ("one week of requests ... starting at Monday 12 a.m.").
+const Monday = 1
+
+// Web is the paper's web workload (Section V-B1): a simplified English
+// Wikipedia trace. The data center receives requests in batches every
+// Interval seconds; the expected rate follows Equation 2 between the
+// weekday's minimum and maximum with the trough at midnight and the peak
+// at noon, the realized per-interval rate is normally distributed around
+// it with relative standard deviation NoiseSigma, and each request's
+// service time is BaseService inflated by U(0, Jitter).
+type Web struct {
+	Rates       [7]DayRate // per-weekday rate bounds (Table II)
+	StartDay    int        // weekday at t=0, Sunday=0 (paper: Monday)
+	Interval    float64    // arrival batch interval (paper: 60 s)
+	NoiseSigma  float64    // relative σ of the per-interval rate (paper: 0.05)
+	BaseService float64    // base request execution time (paper: 0.100 s)
+	Jitter      float64    // uniform service inflation upper bound (paper: 0.10)
+	Scale       float64    // load scale factor (1 = paper scale)
+
+	ids counter
+}
+
+// NewWeb returns the paper's web workload at the given load scale
+// (scale 1 reproduces the paper's ≈500 M requests per simulated week).
+func NewWeb(scale float64) *Web {
+	return &Web{
+		Rates:       WikipediaRates,
+		StartDay:    Monday,
+		Interval:    60,
+		NoiseSigma:  0.05,
+		BaseService: 0.100,
+		Jitter:      0.10,
+		Scale:       scale,
+	}
+}
+
+// MeanRate implements Equation 2: r = Rmin + (Rmax − Rmin)·sin(πt/86400)
+// with t the second of the current day, scaled by the load factor.
+func (w *Web) MeanRate(t float64) float64 {
+	day := (w.StartDay + int(math.Floor(t/Day))) % 7
+	if day < 0 {
+		day += 7
+	}
+	tod := math.Mod(t, Day)
+	if tod < 0 {
+		tod += Day
+	}
+	r := w.Rates[day]
+	return w.Scale * (r.Min + (r.Max-r.Min)*math.Sin(math.Pi*tod/Day))
+}
+
+// Start schedules one batch of arrivals every Interval. Within a batch the
+// realized rate is N(r, NoiseSigma·r) clamped at zero and arrivals are
+// spread uniformly over the interval.
+func (w *Web) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
+	arr := r.Split("web/arrivals")
+	svc := r.Split("web/service")
+	service := stats.Scaled{
+		S:      stats.Uniform{Min: 1, Max: 1 + w.Jitter},
+		Factor: w.BaseService,
+	}
+	s.Every(0, w.Interval, func(now float64) {
+		mean := w.MeanRate(now)
+		rate := stats.TruncatedNormal{Mu: mean, Sigma: w.NoiseSigma * mean}.Sample(arr)
+		n := int(math.Round(rate * w.Interval))
+		for i := 0; i < n; i++ {
+			at := now + arr.Float64()*w.Interval
+			req := Request{
+				ID:      w.ids.next(),
+				Arrival: at,
+				Service: service.Sample(svc),
+			}
+			s.At(at, func() { emit(req) })
+		}
+	})
+}
+
+// WebAnalyzer reproduces the paper's web workload analyzer: each day is
+// divided into six periods — 11:30–12:30 (peak), 12:30–16:00 and
+// 16:00–20:00 (decreasing), 20:00–02:00 (trough), 02:00–07:00 and
+// 07:00–11:30 (increasing) — and before each period starts the analyzer
+// alerts the load predictor with the expected arrival rate for the period.
+// The estimate is the maximum of Equation 2 over the period (the load the
+// fleet must be able to carry anywhere inside it), optionally inflated by
+// Margin.
+type WebAnalyzer struct {
+	Model  *Web
+	Margin float64 // relative safety margin on the estimate (default 0)
+
+	// Horizon bounds the alert schedule; alerts stop after it. Zero
+	// means one week.
+	Horizon float64
+}
+
+// webPeriodStarts lists the six period boundaries as seconds of day.
+var webPeriodStarts = []float64{
+	2 * 3600,        // 02:00 — increasing
+	7 * 3600,        // 07:00 — increasing
+	11*3600 + 30*60, // 11:30 — peak
+	12*3600 + 30*60, // 12:30 — decreasing
+	16 * 3600,       // 16:00 — decreasing
+	20 * 3600,       // 20:00 — trough (wraps past midnight)
+}
+
+// Start emits the initial estimate at t=0 and an alert at every period
+// boundary up to the horizon.
+func (a *WebAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
+	horizon := a.Horizon
+	if horizon <= 0 {
+		horizon = Week
+	}
+	// Initial estimate for the period containing t=0.
+	alert(a.estimateAt(0))
+	for day := 0; ; day++ {
+		base := float64(day) * Day
+		if base > horizon {
+			break
+		}
+		for _, tod := range webPeriodStarts {
+			t := base + tod
+			if t <= 0 || t > horizon {
+				continue
+			}
+			s.At(t, func() { alert(a.estimateAt(t)) })
+		}
+	}
+}
+
+// estimateAt returns the predicted rate for the period containing time t:
+// the maximum of the model's mean rate over the period, inflated by
+// Margin.
+func (a *WebAnalyzer) estimateAt(t float64) float64 {
+	start, end := webPeriodAround(t)
+	max := 0.0
+	// The rate curve is smooth; a 60 s scan of the period captures its
+	// maximum to well under the model's own 5% noise.
+	for x := start; x < end; x += 60 {
+		if r := a.Model.MeanRate(x); r > max {
+			max = r
+		}
+	}
+	if r := a.Model.MeanRate(end); r > max {
+		max = r
+	}
+	return max * (1 + a.Margin)
+}
+
+// webPeriodAround returns the [start, end] absolute times of the analyzer
+// period containing t.
+func webPeriodAround(t float64) (float64, float64) {
+	base := math.Floor(t/Day) * Day
+	tod := t - base
+	// Period boundaries in ascending order over one day, with the trough
+	// period wrapping to 02:00 the next day.
+	b := webPeriodStarts
+	switch {
+	case tod < b[0]: // 00:00–02:00 belongs to the trough period started at 20:00 yesterday
+		return base - Day + b[5], base + b[0]
+	case tod < b[1]:
+		return base + b[0], base + b[1]
+	case tod < b[2]:
+		return base + b[1], base + b[2]
+	case tod < b[3]:
+		return base + b[2], base + b[3]
+	case tod < b[4]:
+		return base + b[3], base + b[4]
+	case tod < b[5]:
+		return base + b[4], base + b[5]
+	default: // 20:00–24:00, trough period extends to 02:00 next day
+		return base + b[5], base + Day + b[0]
+	}
+}

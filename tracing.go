@@ -1,0 +1,42 @@
+package vmprov
+
+import (
+	"io"
+
+	"vmprov/internal/trace"
+)
+
+// Structured run tracing, re-exported for deployments that need an audit
+// trail of scaling decisions and request lifecycles.
+type (
+	// TraceEvent is one structured trace record.
+	TraceEvent = trace.Event
+	// TraceRecorder sinks trace events.
+	TraceRecorder = trace.Recorder
+	// TraceRing keeps the last N events in memory.
+	TraceRing = trace.Ring
+	// TraceWriter streams events as JSON Lines.
+	TraceWriter = trace.Writer
+)
+
+// Trace event kinds.
+const (
+	TraceArrival  = trace.KindArrival
+	TraceAccept   = trace.KindAccept
+	TraceReject   = trace.KindReject
+	TraceComplete = trace.KindComplete
+	TraceScale    = trace.KindScale
+	TracePredict  = trace.KindPredict
+)
+
+// NewTraceRing returns an in-memory recorder of the last n events.
+func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// NewTraceWriter returns a JSONL recorder writing to w.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// TraceRecorderMulti fans events out to several recorders.
+func TraceRecorderMulti(rs ...TraceRecorder) TraceRecorder { return trace.Multi(rs) }
+
+// Trace enables structured tracing on the deployment's provisioner.
+func (d *Deployment) Trace(tr TraceRecorder) { d.Provisioner.SetTracer(tr) }

@@ -1,0 +1,152 @@
+// Package vmprov is a Go reproduction of "Virtual Machine Provisioning
+// Based on Analytical Performance and QoS in Cloud Computing Environments"
+// (Calheiros, Ranjan, Buyya — ICPP 2011): an adaptive VM provisioning
+// mechanism that sizes a fleet of virtualized application instances from a
+// queueing-network performance model (M/M/1/k stations behind an M/M/∞
+// application provisioner) and arrival-rate predictions, evaluated in a
+// discrete-event cloud simulator against static baselines on two
+// production-derived workload models.
+//
+// This package is the stable facade over the implementation packages:
+//
+//   - the paper's evaluation scenarios (Web, Sci) and policy runners
+//     (Adaptive, Static, Run, RunOnce, RunAll),
+//   - the sizing algorithm itself (Algorithm1) for standalone use,
+//   - the building blocks for custom deployments (NewDeployment) with
+//     user-supplied workloads, analyzers, and QoS contracts.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure.
+package vmprov
+
+import (
+	"vmprov/internal/cloud"
+	"vmprov/internal/experiment"
+	"vmprov/internal/metrics"
+	"vmprov/internal/provision"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/workload"
+)
+
+// Re-exported core types. Aliases keep the implementation in internal
+// packages while giving callers stable names.
+type (
+	// Result is one run's output metrics (the paper's Section V-A list).
+	Result = metrics.Result
+	// SeriesPoint is one step of an instance-count or rate time series.
+	SeriesPoint = metrics.SeriesPoint
+	// Scenario is an evaluation setup: workload, analyzer, QoS, baselines.
+	Scenario = experiment.Scenario
+	// Policy is a named provisioning policy runnable over a Scenario.
+	Policy = experiment.Policy
+	// RunOptions tunes a single replication.
+	RunOptions = experiment.RunOptions
+	// QoS holds the negotiated targets (response time, rejection,
+	// utilization floor).
+	QoS = provision.QoS
+	// Config parameterizes a provisioner.
+	Config = provision.Config
+	// SizingInput is the input of the paper's Algorithm 1.
+	SizingInput = provision.SizingInput
+	// Controller decides fleet sizes over a run.
+	Controller = provision.Controller
+	// Provisioner is the application provisioner component.
+	Provisioner = provision.Provisioner
+	// Request is one end-user request.
+	Request = workload.Request
+	// Source is a workload arrival process.
+	Source = workload.Source
+	// Analyzer is the workload-analyzer component.
+	Analyzer = workload.Analyzer
+	// Sim is the discrete-event simulation kernel.
+	Sim = sim.Sim
+	// RNG is a seeded random stream.
+	RNG = stats.RNG
+	// Datacenter is the IaaS substrate.
+	Datacenter = cloud.Datacenter
+	// Federation is a set of clouds P = (c₁, …, cₙ) acting as one VM
+	// provider.
+	Federation = cloud.Federation
+	// Provider supplies VMs (a Datacenter or a Federation).
+	Provider = cloud.Provider
+	// VMSpec describes an application VM.
+	VMSpec = cloud.VMSpec
+	// PowerModel is the linear host energy model.
+	PowerModel = cloud.PowerModel
+	// Placement selects the VM-to-host mapping policy.
+	Placement = cloud.Placement
+)
+
+// Placement policies (the paper's setup uses PlacementLeastLoaded).
+const (
+	PlacementLeastLoaded = cloud.LeastLoaded
+	PlacementFirstFit    = cloud.FirstFit
+	PlacementRoundRobin  = cloud.RoundRobin
+)
+
+// Web returns the paper's web (Wikipedia) scenario at the given load
+// scale; scale 1 is the paper's full intensity (≈500 M requests per
+// simulated week).
+func Web(scale float64) Scenario { return experiment.Web(scale) }
+
+// Sci returns the paper's scientific (Bag-of-Tasks) scenario at the given
+// load scale; scale 1 reproduces the paper's ≈8286 requests per simulated
+// day.
+func Sci(scale float64) Scenario { return experiment.Sci(scale) }
+
+// Adaptive returns the paper's adaptive provisioning policy, wired to the
+// scenario's workload analyzer.
+func Adaptive() Policy { return experiment.AdaptivePolicy() }
+
+// Static returns the paper's baseline: a fixed fleet of m instances.
+func Static(m int) Policy { return experiment.StaticPolicy(m) }
+
+// RunOnce executes one seeded replication and returns its metrics (plus
+// the instance-count series when requested). Deterministic in (scenario,
+// policy, seed).
+func RunOnce(sc Scenario, pol Policy, seed uint64, opts RunOptions) (Result, []SeriesPoint) {
+	return experiment.RunOnce(sc, pol, seed, opts)
+}
+
+// Run executes reps replications in parallel and returns the aggregate
+// (the paper averages 10 repetitions) along with the individual runs.
+func Run(sc Scenario, pol Policy, reps int, baseSeed uint64, workers int) (Result, []Result) {
+	return experiment.Run(sc, pol, reps, baseSeed, workers)
+}
+
+// RunAll evaluates the adaptive policy and every static baseline of the
+// scenario — one full Figure 5/6 panel set.
+func RunAll(sc Scenario, reps int, baseSeed uint64, workers int) []Result {
+	return experiment.RunAll(sc, reps, baseSeed, workers)
+}
+
+// FigureTable renders results as the text analogue of the paper's
+// Figure 5/6 panels.
+func FigureTable(caption string, results []Result) string {
+	return experiment.FigureTable(caption, results)
+}
+
+// ResultsCSV renders results as CSV.
+func ResultsCSV(results []Result) string { return experiment.ResultsCSV(results) }
+
+// Algorithm1 runs the paper's adaptive sizing search standalone: given an
+// expected arrival rate, monitored execution time, queue size, QoS, and
+// the current fleet, it returns the number of instances able to meet QoS.
+func Algorithm1(in SizingInput) int { return provision.Algorithm1(in) }
+
+// NewRNG returns a seeded random stream for custom sources.
+func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
+
+// NewSim returns an empty discrete-event simulator.
+func NewSim() *Sim { return sim.New() }
+
+// NewDatacenter returns the paper's default data center (1000 hosts of
+// two quad-cores and 16 GB each).
+func NewDatacenter() *Datacenter { return cloud.NewDefault() }
+
+// NewFederation groups data centers into one provider.
+func NewFederation(members ...*Datacenter) *Federation { return cloud.NewFederation(members...) }
+
+// DefaultPowerModel returns the reference host energy model.
+func DefaultPowerModel() PowerModel { return cloud.DefaultPowerModel() }

@@ -1,0 +1,103 @@
+package vmprov
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end the way the
+// README's quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	sc := Sci(1)
+	adaptive, _ := RunOnce(sc, Adaptive(), 42, RunOptions{})
+	static, _ := RunOnce(sc, Static(75), 42, RunOptions{})
+	if adaptive.Accepted == 0 || static.Accepted == 0 {
+		t.Fatal("facade run produced nothing")
+	}
+	if adaptive.VMHours >= static.VMHours {
+		t.Fatalf("adaptive VM hours %.1f should undercut static-75's %.1f",
+			adaptive.VMHours, static.VMHours)
+	}
+	table := FigureTable("t", []Result{adaptive, static})
+	if !strings.Contains(table, "Adaptive") || !strings.Contains(table, "Static-75") {
+		t.Fatalf("table rendering broken:\n%s", table)
+	}
+	if csv := ResultsCSV([]Result{adaptive}); !strings.Contains(csv, "Adaptive") {
+		t.Fatal("csv rendering broken")
+	}
+}
+
+func TestFacadeAlgorithm1(t *testing.T) {
+	m := Algorithm1(SizingInput{
+		Lambda: 1200, Tm: 0.105, K: 2, Current: 55, MaxVMs: 1000,
+		QoS: QoS{Ts: 0.25, RejectionTol: 1e-3, MinUtilization: 0.8},
+	})
+	if m < 126 || m > 160 {
+		t.Fatalf("facade Algorithm1 = %d", m)
+	}
+}
+
+func TestFacadeDeployment(t *testing.T) {
+	cfg := Config{
+		QoS:       QoS{Ts: 2.5, MaxRejection: 0, RejectionTol: 1e-3, MinUtilization: 0.8},
+		NominalTr: 1,
+		MaxVMs:    50,
+	}
+	d := NewDeployment(cfg, nil)
+	src := &PoissonSource{Rate: 4, Service: uniformSvc{}, Horizon: 2000}
+	an := &WindowAnalyzer{Interval: 100, Windows: 3, Safety: 1.3}
+	d.UseAdaptive(an)
+	d.Start(src, 5, an)
+	res := d.Finish("custom", 2500)
+	if res.Accepted == 0 {
+		t.Fatal("deployment served nothing")
+	}
+	classes := d.ClassResults()
+	if len(classes) != 1 || classes[0].Class != 0 {
+		t.Fatalf("class results wrong: %+v", classes)
+	}
+}
+
+type uniformSvc struct{}
+
+func (uniformSvc) Sample(r *RNG) float64 { return 1 + 0.1*r.Float64() }
+func (uniformSvc) Mean() float64         { return 1.05 }
+
+func TestFacadePipeline(t *testing.T) {
+	s := NewSim()
+	p := NewPipeline(s, nil, 5, []Stage{
+		{Name: "a", Cfg: Config{
+			QoS:       QoS{Ts: 2.5, RejectionTol: 1e-3, MinUtilization: 0.8},
+			NominalTr: 1, MaxVMs: 20,
+		}, Controller: &StaticController{M: 8}},
+	})
+	r := NewRNG(1)
+	var pump func()
+	pump = func() {
+		if s.Now() >= 1000 {
+			return
+		}
+		p.Submit([]float64{1 + 0.1*r.Float64()}, 0, 0)
+		s.Schedule(r.ExpFloat64()/4, pump)
+	}
+	s.Schedule(0.1, pump)
+	res := p.Finish(1500)
+	if res.Served == 0 || res.DropRate > 0.05 {
+		t.Fatalf("pipeline result wrong: %+v", res)
+	}
+	if !strings.Contains(res.String(), "stage 0") {
+		t.Fatal("pipeline String() broken")
+	}
+}
+
+func TestFacadeWorkloadConstructors(t *testing.T) {
+	if NewWebWorkload(1).MeanRate(12*3600) != 1000 {
+		t.Fatal("web workload constructor broken")
+	}
+	if NewSciWorkload(1).MeanRate(10*3600) <= 0 {
+		t.Fatal("sci workload constructor broken")
+	}
+	if Week != 7*Day {
+		t.Fatal("horizon constants broken")
+	}
+}
