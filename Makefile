@@ -1,0 +1,43 @@
+# CI entry points for the vmprov reproduction. `make ci` is the gate a PR
+# must pass: static checks, the full test suite with the race detector,
+# the kernel fuzz targets in short mode, and a bench smoke run that
+# regenerates BENCH_kernel.json so kernel throughput is tracked per PR.
+
+GO        ?= go
+FUZZTIME  ?= 10s
+BENCHOUT  ?= BENCH_kernel.json
+
+.PHONY: ci vet build test race fuzz bench-smoke bench golden
+
+ci: vet build race fuzz bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing of the kernel's heap/arena against the reference
+# scheduler. The seed corpus also runs on every plain `go test`.
+fuzz:
+	$(GO) test ./internal/sim -run FuzzSimHeap -fuzz FuzzSimHeap -fuzztime $(FUZZTIME)
+
+# Regenerate the kernel throughput record (web scenario, scales 0.1 and
+# 1.0, one simulated hour each).
+bench-smoke:
+	$(GO) run ./cmd/vmprovsim -benchkernel $(BENCHOUT)
+
+# Full benchmark sweep with allocation stats (slow; not part of ci).
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Re-pin the kernel golden file after a DELIBERATE semantic change to
+# event ordering or RNG stream layout. Never run to silence a failure.
+golden:
+	$(GO) test ./internal/experiment -run TestKernelGolden -update-kernel-golden

@@ -77,6 +77,7 @@ func BenchmarkFig4SciTrace(b *testing.B) {
 // scenario: scale 0.1, one simulated day, adaptive vs scaled static
 // fleets. The resulting table is logged (go test -bench Fig5 -v).
 func BenchmarkFig5Web(b *testing.B) {
+	b.ReportAllocs()
 	sc := Web(0.1)
 	sc.Horizon = Day
 	var results []Result
@@ -91,6 +92,7 @@ func BenchmarkFig5Web(b *testing.B) {
 // scale: one simulated day of the BoT workload, adaptive vs
 // Static-{15..75}.
 func BenchmarkFig6Sci(b *testing.B) {
+	b.ReportAllocs()
 	sc := Sci(1)
 	var results []Result
 	for i := 0; i < b.N; i++ {
@@ -235,6 +237,7 @@ func BenchmarkAblationEmpiricalAnalyzers(b *testing.B) {
 // BenchmarkSimEventThroughput measures raw kernel speed: schedule+fire of
 // chained events.
 func BenchmarkSimEventThroughput(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New()
 	n := 0
 	var chain func()
@@ -252,6 +255,7 @@ func BenchmarkSimEventThroughput(b *testing.B) {
 // BenchmarkSimHeapChurn measures the pending-set under width: 1k
 // concurrent timers constantly rescheduled.
 func BenchmarkSimHeapChurn(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New()
 	const width = 1024
 	fired := 0
@@ -301,6 +305,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 // BenchmarkWebGeneration measures workload generation alone (no serving):
 // arrivals per second of wall clock.
 func BenchmarkWebGeneration(b *testing.B) {
+	b.ReportAllocs()
 	var count int
 	for i := 0; i < b.N; i++ {
 		s := sim.New()
@@ -314,6 +319,7 @@ func BenchmarkWebGeneration(b *testing.B) {
 // BenchmarkEndToEndServing measures the full stack (generate, admit,
 // serve, account) on a one-hour web slice.
 func BenchmarkEndToEndServing(b *testing.B) {
+	b.ReportAllocs()
 	sc := Web(0.1)
 	sc.Horizon = 3600
 	var r Result

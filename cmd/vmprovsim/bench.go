@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"vmprov"
+)
+
+// Kernel benchmark mode: -benchkernel FILE runs the web scenario at each
+// requested scale and writes a JSON record of kernel throughput
+// (events/sec, bytes and allocs per event, wall time), so the perf
+// trajectory of the event kernel is tracked across PRs. The web scenario
+// is the stressor: at scale 1 it is the paper's ≈500 M requests per
+// simulated week.
+
+type kernelBenchRun struct {
+	Scenario       string  `json:"scenario"`
+	Scale          float64 `json:"scale"`
+	HorizonS       float64 `json:"horizon_s"`
+	Policy         string  `json:"policy"`
+	Seed           uint64  `json:"seed"`
+	Events         uint64  `json:"events"`
+	Requests       uint64  `json:"requests"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+type kernelBenchReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	Runs        []kernelBenchRun `json:"runs"`
+}
+
+// parseScales parses a comma-separated scale list, e.g. "0.1,1".
+func parseScales(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad scale %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scales in %q", s)
+	}
+	return out, nil
+}
+
+// benchOne runs one measured replication and returns its record. The
+// kernel is single-threaded per replication, so the process-wide
+// allocation deltas are attributable to the run.
+func benchOne(scale, horizon float64, seed uint64) kernelBenchRun {
+	sc := vmprov.Web(scale)
+	sc.Horizon = horizon
+	pol := vmprov.Adaptive()
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, _ := vmprov.RunOnce(sc, pol, seed, vmprov.RunOptions{})
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	run := kernelBenchRun{
+		Scenario:    sc.Name,
+		Scale:       scale,
+		HorizonS:    horizon,
+		Policy:      pol.Name,
+		Seed:        seed,
+		Events:      res.Events,
+		Requests:    res.Accepted + res.Rejected,
+		WallSeconds: wall,
+	}
+	if wall > 0 {
+		run.EventsPerSec = float64(res.Events) / wall
+		run.RequestsPerSec = float64(run.Requests) / wall
+	}
+	if res.Events > 0 {
+		run.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Events)
+		run.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(res.Events)
+	}
+	return run
+}
+
+// runKernelBench executes the benchmark sweep and writes the JSON report.
+func runKernelBench(outPath, scales string, horizon float64, seed uint64) error {
+	sc, err := parseScales(scales)
+	if err != nil {
+		return err
+	}
+	if horizon <= 0 {
+		horizon = 3600
+	}
+	rep := kernelBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	for _, s := range sc {
+		run := benchOne(s, horizon, seed)
+		fmt.Fprintf(os.Stderr,
+			"bench web scale %g: %d events in %.2fs — %.2fM events/s, %.1f B/event, %.3f allocs/event\n",
+			s, run.Events, run.WallSeconds, run.EventsPerSec/1e6,
+			run.BytesPerEvent, run.AllocsPerEvent)
+		rep.Runs = append(rep.Runs, run)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

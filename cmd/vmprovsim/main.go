@@ -7,15 +7,21 @@
 //	vmprovsim -scenario scientific -reps 10 -all -csv
 //	vmprovsim -scenario scientific -policy adaptive -series
 //	vmprovsim -scenario web -scale 0.1 -policy static -vms 10
+//	vmprovsim -benchkernel BENCH_kernel.json -benchscales 0.1,1
+//	vmprovsim -scenario web -scale 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -all evaluates the adaptive policy against every static baseline of the
 // scenario (the full figure); otherwise a single policy runs.
+// -cpuprofile/-memprofile wrap any mode with pprof capture; -benchkernel
+// measures raw kernel throughput and writes a JSON perf record.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vmprov"
 	"vmprov/internal/report"
@@ -36,8 +42,57 @@ func main() {
 		series   = flag.Bool("series", false, "emit the instance-count time series (single-policy mode)")
 		traceOut = flag.String("trace", "", "write a JSONL event trace of one replication to this file (single-policy mode)")
 		horizon  = flag.Float64("horizon", 0, "override simulated seconds (0 = scenario default)")
+
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		benchKernel = flag.String("benchkernel", "", "run the kernel throughput benchmark and write its JSON report to this file")
+		benchScales = flag.String("benchscales", "0.1,1", "comma-separated web load scales for -benchkernel")
+		benchHoriz  = flag.Float64("benchhorizon", 3600, "simulated seconds per -benchkernel run")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile → %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "allocation profile → %s\n", path)
+		}()
+	}
+
+	if *benchKernel != "" {
+		if err := runKernelBench(*benchKernel, *benchScales, *benchHoriz, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "kernel bench → %s\n", *benchKernel)
+		return
+	}
 
 	var sc vmprov.Scenario
 	switch *scenario {

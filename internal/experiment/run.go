@@ -100,6 +100,7 @@ func RunOnce(sc Scenario, pol Policy, seed uint64, opts RunOptions) (metrics.Res
 	p.Shutdown(sc.Horizon)
 	res := col.Result(pol.Name, sc.Horizon)
 	res.EnergyKWh = dc.EnergyKWh(sc.Horizon)
+	res.Events = s.Processed()
 	return res, col.Series
 }
 

@@ -157,6 +157,8 @@ type Result struct {
 	VMHours      float64 // Σ instance lifetimes, in hours
 	Utilization  float64 // busy seconds / VM seconds
 	EnergyKWh    float64 // data-center energy, when metering is enabled
+
+	Events uint64 // kernel events executed during the run (throughput accounting)
 }
 
 // Result finalizes the run at time end. The caller must already have
@@ -255,7 +257,7 @@ func Aggregate(results []Result) Result {
 	n := float64(len(results))
 	var minI, maxI, avgI, vmh, util, rej, resp, std, exec, wait, energy float64
 	var p50, p95, p99, maxResp float64
-	var acc, rejN, vio, ddl float64
+	var acc, rejN, vio, ddl, evs float64
 	for _, r := range results {
 		minI += float64(r.MinInstances)
 		maxI += float64(r.MaxInstances)
@@ -275,6 +277,7 @@ func Aggregate(results []Result) Result {
 		rejN += float64(r.Rejected)
 		vio += float64(r.Violations)
 		ddl += float64(r.DeadlineMisses)
+		evs += float64(r.Events)
 		if r.MaxResponse > maxResp {
 			maxResp = r.MaxResponse
 		}
@@ -298,5 +301,6 @@ func Aggregate(results []Result) Result {
 	agg.Rejected = uint64(rejN / n)
 	agg.Violations = uint64(vio / n)
 	agg.DeadlineMisses = uint64(ddl / n)
+	agg.Events = uint64(evs / n)
 	return agg
 }

@@ -343,14 +343,19 @@ func (p *Provisioner) scaleUp(need int) {
 		in := app.NewInstance(p.sim, vm, p.k, p.onComplete)
 		p.instances = append(p.instances, in)
 		if p.cfg.BootDelay > 0 {
-			p.sim.Schedule(p.cfg.BootDelay, func() {
-				if in.State() == app.Booting {
-					in.Activate()
-				}
-			})
+			p.sim.ScheduleFunc(p.cfg.BootDelay, activateBooted, in)
 		} else {
 			in.Activate()
 		}
+	}
+}
+
+// activateBooted flips an instance that is still booting to Active when
+// its boot delay elapses; scale-downs may have retired it in the
+// meantime. Shared across events so boot scheduling does not allocate.
+func activateBooted(a any) {
+	if in := a.(*app.Instance); in.State() == app.Booting {
+		in.Activate()
 	}
 }
 

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// Tests for the arena/free-list mechanics and the non-finite-time
+// rejection introduced with the allocation-free kernel.
+
+func TestInfiniteTimesRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		call func(s *Sim)
+	}{
+		{"At(+Inf)", func(s *Sim) { s.At(math.Inf(1), func() {}) }},
+		{"Schedule(+Inf)", func(s *Sim) { s.Schedule(math.Inf(1), func() {}) }},
+		{"AtFunc(+Inf)", func(s *Sim) { s.AtFunc(math.Inf(1), func(any) {}, nil) }},
+		{"ScheduleFunc(+Inf)", func(s *Sim) { s.ScheduleFunc(math.Inf(1), func(any) {}, nil) }},
+		{"AtFunc(NaN)", func(s *Sim) { s.AtFunc(math.NaN(), func(any) {}, nil) }},
+		{"ScheduleFunc(-1)", func(s *Sim) { s.ScheduleFunc(-1, func(any) {}, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New()
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+				if s.Pending() != 0 {
+					t.Fatalf("%s leaked a pending event", tc.name)
+				}
+			}()
+			tc.call(s)
+		})
+	}
+}
+
+func TestArenaSlotReuse(t *testing.T) {
+	s := New()
+	// Fire one event; its slot must be recycled by the next schedule
+	// instead of growing the arena.
+	s.Schedule(1, func() {})
+	s.Run()
+	if len(s.nodes) != 1 {
+		t.Fatalf("arena size %d after one event, want 1", len(s.nodes))
+	}
+	for i := 0; i < 100; i++ {
+		s.Schedule(1, func() {})
+		s.Run()
+	}
+	if len(s.nodes) != 1 {
+		t.Fatalf("arena grew to %d slots under sequential reuse, want 1", len(s.nodes))
+	}
+	// Canceled slots are recycled too.
+	e := s.Schedule(1, func() {})
+	s.Cancel(e)
+	s.Schedule(1, func() {})
+	if len(s.nodes) != 1 {
+		t.Fatalf("arena grew to %d slots after cancel-reuse, want 1", len(s.nodes))
+	}
+	s.Run()
+}
+
+func TestStaleHandleIsInert(t *testing.T) {
+	s := New()
+	e1 := s.Schedule(1, func() {})
+	s.Run() // e1 fires; its slot goes to the free list
+	if !e1.Canceled() {
+		t.Fatal("fired event does not report canceled")
+	}
+	if !math.IsNaN(e1.Time()) {
+		t.Fatalf("fired event reports time %v, want NaN", e1.Time())
+	}
+	// e2 reuses e1's slot. Canceling the stale e1 must not touch e2.
+	fired := false
+	e2 := s.Schedule(1, func() { fired = true })
+	if s.Cancel(e1) {
+		t.Fatal("stale handle canceled a reused slot")
+	}
+	if e2.Canceled() {
+		t.Fatal("live event reports canceled after stale-handle Cancel")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("live event did not fire after stale-handle Cancel")
+	}
+	// Double cancel through the fresh handle.
+	e3 := s.Schedule(1, func() {})
+	if !s.Cancel(e3) || s.Cancel(e3) {
+		t.Fatal("cancel/double-cancel semantics broken")
+	}
+}
+
+func TestCancelForeignSimIsNoOp(t *testing.T) {
+	a, b := New(), New()
+	e := a.Schedule(1, func() {})
+	if b.Cancel(e) {
+		t.Fatal("sim B canceled an event belonging to sim A")
+	}
+	if e.Canceled() {
+		t.Fatal("foreign Cancel invalidated the event")
+	}
+}
+
+func TestScheduleFuncDelivery(t *testing.T) {
+	s := New()
+	type payload struct{ hits int }
+	p := &payload{}
+	s.ScheduleFunc(1, func(a any) { a.(*payload).hits++ }, p)
+	s.AtFunc(2, func(a any) { a.(*payload).hits += 10 }, p)
+	s.Run()
+	if p.hits != 11 {
+		t.Fatalf("arg-taking events delivered %d, want 11", p.hits)
+	}
+}
+
+func TestEventTimeWhilePending(t *testing.T) {
+	s := New()
+	e := s.Schedule(2.5, func() {})
+	if e.Time() != 2.5 {
+		t.Fatalf("pending event time %v, want 2.5", e.Time())
+	}
+	if e.Canceled() {
+		t.Fatal("pending event reports canceled")
+	}
+	var zero Event
+	if !zero.Canceled() || !math.IsNaN(zero.Time()) {
+		t.Fatal("zero Event must be canceled with NaN time")
+	}
+}
+
+// TestReleaseDropsReferences ensures fired slots do not pin their
+// callbacks or args for the garbage collector.
+func TestReleaseDropsReferences(t *testing.T) {
+	s := New()
+	big := make([]byte, 1<<20)
+	s.ScheduleFunc(1, func(any) {}, big)
+	s.Run()
+	if s.nodes[0].arg != nil || s.nodes[0].fn != nil || s.nodes[0].afn != nil {
+		t.Fatal("released slot still references its callback or arg")
+	}
+}
+
+// TestSameTimeOrderAcrossReuse pins the determinism contract through the
+// free list: events scheduled at the same timestamp fire in insertion
+// order even when their arena slots were recycled in scrambled order.
+func TestSameTimeOrderAcrossReuse(t *testing.T) {
+	s := New()
+	// Build and drain a first wave to populate the free list.
+	var es []Event
+	for i := 0; i < 8; i++ {
+		es = append(es, s.Schedule(1, func() {}))
+	}
+	// Cancel out of order to scramble the free list.
+	for _, i := range []int{3, 0, 7, 1, 5, 2, 6, 4} {
+		s.Cancel(es[i])
+	}
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", order)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelHotPath is the canonical schedule+fire cycle of the
+// serving stack: every fired event schedules its successor through the
+// arg-taking fast path, exactly like a request completion scheduling the
+// next service. Must report 0 allocs/op: the event arena recycles the
+// single slot and no closure is captured.
+func BenchmarkKernelHotPath(b *testing.B) {
+	s := New()
+	type state struct {
+		s *Sim
+		n int
+		N int
+	}
+	var tick func(any)
+	tick = func(a any) {
+		st := a.(*state)
+		st.n++
+		if st.n < st.N {
+			st.s.ScheduleFunc(1, tick, st)
+		}
+	}
+	st := &state{s: s, N: b.N}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.ScheduleFunc(1, tick, st)
+	s.Run()
+	if st.n != b.N {
+		b.Fatalf("fired %d, want %d", st.n, b.N)
+	}
+}
+
+// BenchmarkKernelWideHeap fires through a 4096-wide pending set, the
+// regime where the 4-ary heap's shallower depth pays: every fire pops the
+// root and pushes a replacement with a pseudo-random offset.
+func BenchmarkKernelWideHeap(b *testing.B) {
+	s := New()
+	type state struct {
+		s     *Sim
+		fired int
+		N     int
+	}
+	var tick func(any)
+	tick = func(a any) {
+		st := a.(*state)
+		st.fired++
+		if st.fired < st.N {
+			st.s.ScheduleFunc(1+float64(st.fired%7), tick, st)
+		}
+	}
+	st := &state{s: s, N: b.N}
+	const width = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < width && i < b.N; i++ {
+		s.ScheduleFunc(float64(i%13)+1, tick, st)
+	}
+	s.Run()
+}
+
+// BenchmarkKernelCancelChurn measures schedule-then-cancel cycles — the
+// MMPP-style pattern where pending arrivals are redrawn on every
+// modulation flip. Exercises free-list reuse under cancellation.
+func BenchmarkKernelCancelChurn(b *testing.B) {
+	s := New()
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.ScheduleFunc(float64(i%97)+1, fn, nil)
+		s.Cancel(e)
+	}
+}

@@ -3,11 +3,36 @@
 // paper's evaluation was built on.
 //
 // The kernel is a sequential event-driven engine: a pending-event set
-// ordered by (timestamp, insertion sequence) and a virtual clock. Events are
-// plain closures. Determinism is guaranteed by the total order on events —
-// ties at equal timestamps fire in scheduling order — so a simulation is a
-// pure function of its initial events and random seeds. Parallelism in this
-// codebase happens one level up, across independent replications.
+// ordered by (timestamp, insertion sequence) and a virtual clock.
+// Determinism is guaranteed by the total order on events — ties at equal
+// timestamps fire in scheduling order — so a simulation is a pure function
+// of its initial events and random seeds. Parallelism in this codebase
+// happens one level up, across independent replications.
+//
+// # Performance
+//
+// The paper's web scenario generates ≈500 M requests per simulated week at
+// full scale, so the kernel is built to schedule and fire events without
+// per-event heap allocation:
+//
+//   - Events live in a per-simulator arena ([]node) and are addressed by
+//     index. Fired and canceled nodes go on an intrusive free list and are
+//     reused, so steady-state simulation does not grow the arena at all.
+//     The arena is owned by one Sim; replications never share it, which is
+//     why no locking (and no sync.Pool) is needed.
+//   - The pending set is a 4-ary min-heap of arena indices. The higher
+//     branching factor halves the tree depth of the binary heap, trading
+//     slightly more comparisons per sift-down for far fewer cache-missing
+//     levels — the usual win for DES pending sets dominated by pop.
+//   - ScheduleFunc/AtFunc take a func(arg any) plus the arg, so hot callers
+//     (request completions, batched arrival walkers) can pass a static
+//     function and a pointer instead of capturing a fresh closure per
+//     event.
+//
+// Event handles carry a generation counter: a handle to a node that has
+// fired (or was canceled) and has since been reused is detected and
+// Cancel on it is a safe no-op, so free-list reuse cannot alias a live
+// event.
 package sim
 
 import (
@@ -15,34 +40,73 @@ import (
 	"math"
 )
 
-// Event is a scheduled occurrence. It is returned by the scheduling methods
-// so callers can cancel it before it fires.
-type Event struct {
+// noEvent marks the end of the free list and "no heap position".
+const noEvent = -1
+
+// node is one arena slot. While pending it sits in the heap at index pos;
+// when free it chains through next on the free list. gen increments every
+// time the slot is released, invalidating outstanding handles.
+type node struct {
 	time float64
 	seq  uint64
-	fn   func()
-	pos  int // index in the heap, -1 once fired or canceled
+	fn   func()    // closure form (nil when afn is used)
+	afn  func(any) // arg-taking form, shared across events
+	arg  any
+	gen  uint32
+	pos  int32 // index in the heap; noEvent when not pending
+	next int32 // next free node; meaningful only while free
 }
 
-// Time returns the virtual time the event is (or was) scheduled for.
-func (e *Event) Time() float64 { return e.time }
+// Event is a handle to a scheduled occurrence, returned by the scheduling
+// methods so callers can cancel it before it fires. It is a small value
+// (not a pointer): copying it is free and the zero Event is a valid
+// "no event" that Cancel ignores. A handle becomes stale once its event
+// fires or is canceled; stale handles are inert.
+type Event struct {
+	s   *Sim
+	id  int32
+	gen uint32
+}
 
-// Canceled reports whether the event was canceled or has already fired.
-func (e *Event) Canceled() bool { return e.pos < 0 }
+// Time returns the virtual time the event is scheduled for, or NaN when
+// the event already fired or was canceled (its arena slot may since have
+// been reused, so the original time is no longer tracked).
+func (e Event) Time() float64 {
+	if e.s == nil {
+		return math.NaN()
+	}
+	n := &e.s.nodes[e.id]
+	if n.gen != e.gen || n.pos == noEvent {
+		return math.NaN()
+	}
+	return n.time
+}
+
+// Canceled reports whether the event is no longer pending — canceled or
+// already fired. The zero Event reports true.
+func (e Event) Canceled() bool {
+	if e.s == nil {
+		return true
+	}
+	n := &e.s.nodes[e.id]
+	return n.gen != e.gen || n.pos == noEvent
+}
 
 // Sim is a discrete-event simulator. The zero value is not usable; create
 // one with New.
 type Sim struct {
 	now       float64
 	seq       uint64
-	heap      []*Event
+	nodes     []node  // event arena
+	heap      []int32 // 4-ary min-heap of arena indices, ordered by (time, seq)
+	free      int32   // head of the free list of arena slots
 	stopped   bool
 	processed uint64
 }
 
 // New creates an empty simulator with the clock at zero.
 func New() *Sim {
-	return &Sim{}
+	return &Sim{free: noEvent}
 }
 
 // Now returns the current virtual time in seconds.
@@ -55,42 +119,103 @@ func (s *Sim) Processed() uint64 { return s.processed }
 func (s *Sim) Pending() int { return len(s.heap) }
 
 // Schedule runs fn after delay seconds of virtual time. It panics on a
-// negative delay — scheduling into the past would corrupt causality.
-func (s *Sim) Schedule(delay float64, fn func()) *Event {
-	if delay < 0 || math.IsNaN(delay) {
+// negative, NaN, or infinite delay — scheduling into the past would
+// corrupt causality, and an event at +Inf could never fire and would leak
+// in the pending set.
+func (s *Sim) Schedule(delay float64, fn func()) Event {
+	if !(delay >= 0) || math.IsInf(delay, 1) {
 		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, s.now))
 	}
-	return s.At(s.now+delay, fn)
+	return s.insert(s.now+delay, fn, nil, nil)
 }
 
-// At runs fn at absolute virtual time t, which must not precede the current
-// time.
-func (s *Sim) At(t float64, fn func()) *Event {
-	if t < s.now || math.IsNaN(t) {
-		panic(fmt.Sprintf("sim: At with time %v before now %v", t, s.now))
+// At runs fn at absolute virtual time t, which must not precede the
+// current time and must be finite.
+func (s *Sim) At(t float64, fn func()) Event {
+	return s.insert(t, fn, nil, nil)
+}
+
+// ScheduleFunc is the allocation-free variant of Schedule: fn is a shared
+// (typically package-level) function and arg its per-event state. Because
+// no closure is captured, scheduling from a hot path costs no heap
+// allocation when arg is pointer-shaped.
+func (s *Sim) ScheduleFunc(delay float64, fn func(any), arg any) Event {
+	if !(delay >= 0) || math.IsInf(delay, 1) {
+		panic(fmt.Sprintf("sim: ScheduleFunc with invalid delay %v at t=%v", delay, s.now))
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn, pos: len(s.heap)}
-	s.seq++
-	s.heap = append(s.heap, e)
-	s.up(e.pos)
-	return e
+	return s.insert(s.now+delay, nil, fn, arg)
 }
 
-// Cancel removes a pending event. Canceling an event that already fired or
-// was already canceled is a no-op and reports false.
-func (s *Sim) Cancel(e *Event) bool {
-	if e == nil || e.pos < 0 {
+// AtFunc is the allocation-free variant of At.
+func (s *Sim) AtFunc(t float64, fn func(any), arg any) Event {
+	return s.insert(t, nil, fn, arg)
+}
+
+// insert allocates an arena slot (reusing the free list when possible)
+// and pushes it onto the pending heap. Exactly one of fn/afn is non-nil.
+func (s *Sim) insert(t float64, fn func(), afn func(any), arg any) Event {
+	// !(t >= now) rejects NaN and past times; IsInf rejects +Inf (-Inf is
+	// already below now). Non-finite timestamps would sit in the heap
+	// forever, silently leaking the slot.
+	if !(t >= s.now) || math.IsInf(t, 1) {
+		panic(fmt.Sprintf("sim: At with time %v before now %v or non-finite", t, s.now))
+	}
+	id := s.free
+	if id != noEvent {
+		s.free = s.nodes[id].next
+	} else {
+		s.nodes = append(s.nodes, node{})
+		id = int32(len(s.nodes) - 1)
+	}
+	n := &s.nodes[id]
+	n.time = t
+	n.seq = s.seq
+	n.fn = fn
+	n.afn = afn
+	n.arg = arg
+	n.pos = int32(len(s.heap))
+	s.seq++
+	s.heap = append(s.heap, id)
+	s.up(int(n.pos))
+	return Event{s: s, id: id, gen: n.gen}
+}
+
+// release returns a slot to the free list and invalidates outstanding
+// handles to it. Callback references are dropped so the arena does not
+// pin dead closures or args for the GC.
+func (s *Sim) release(id int32) {
+	n := &s.nodes[id]
+	n.fn = nil
+	n.afn = nil
+	n.arg = nil
+	n.gen++
+	n.pos = noEvent
+	n.next = s.free
+	s.free = id
+}
+
+// Cancel removes a pending event. Canceling the zero Event, an event of
+// another simulator, or an event that already fired or was canceled
+// (including handles whose arena slot has been reused) is a no-op and
+// reports false.
+func (s *Sim) Cancel(e Event) bool {
+	if e.s != s || s == nil {
 		return false
 	}
-	i := e.pos
+	n := &s.nodes[e.id]
+	if n.gen != e.gen || n.pos == noEvent {
+		return false
+	}
+	i := int(n.pos)
 	last := len(s.heap) - 1
-	s.swap(i, last)
+	s.heap[i] = s.heap[last]
+	s.nodes[s.heap[i]].pos = int32(i)
 	s.heap = s.heap[:last]
 	if i < last {
 		s.down(i)
 		s.up(i)
 	}
-	e.pos = -1
+	s.release(e.id)
 	return true
 }
 
@@ -108,14 +233,10 @@ func (s *Sim) Run() float64 { return s.RunUntil(math.Inf(1)) }
 func (s *Sim) RunUntil(t float64) float64 {
 	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
-		e := s.heap[0]
-		if e.time > t {
+		if s.nodes[s.heap[0]].time > t {
 			break
 		}
-		s.pop()
-		s.now = e.time
-		s.processed++
-		e.fn()
+		s.fire()
 	}
 	if !s.stopped && !math.IsInf(t, 1) && t > s.now {
 		s.now = t
@@ -129,12 +250,33 @@ func (s *Sim) Step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	e := s.heap[0]
-	s.pop()
-	s.now = e.time
-	s.processed++
-	e.fn()
+	s.fire()
 	return true
+}
+
+// fire pops the minimum event, releases its slot (so the callback itself
+// can reuse it), and runs the callback. The callback fields are copied out
+// first: the callback may grow the arena or reschedule into the freed
+// slot.
+func (s *Sim) fire() {
+	id := s.heap[0]
+	n := &s.nodes[id]
+	fn, afn, arg := n.fn, n.afn, n.arg
+	s.now = n.time
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.nodes[s.heap[0]].pos = 0
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	s.release(id)
+	s.processed++
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 }
 
 // Every schedules fn to run now+delay and then every interval seconds until
@@ -145,7 +287,7 @@ func (s *Sim) Every(delay, interval float64, fn func(t float64)) *Ticker {
 		panic(fmt.Sprintf("sim: Every with non-positive interval %v", interval))
 	}
 	tk := &Ticker{sim: s, interval: interval, fn: fn}
-	tk.ev = s.Schedule(delay, tk.fire)
+	tk.ev = s.ScheduleFunc(delay, tickerFire, tk)
 	return tk
 }
 
@@ -154,17 +296,20 @@ type Ticker struct {
 	sim      *Sim
 	interval float64
 	fn       func(t float64)
-	ev       *Event
+	ev       Event
 	stopped  bool
 }
 
-func (tk *Ticker) fire() {
+// tickerFire is shared by all tickers; rescheduling through it keeps the
+// periodic chain allocation-free.
+func tickerFire(a any) {
+	tk := a.(*Ticker)
 	if tk.stopped {
 		return
 	}
 	tk.fn(tk.sim.Now())
 	if !tk.stopped {
-		tk.ev = tk.sim.Schedule(tk.interval, tk.fire)
+		tk.ev = tk.sim.ScheduleFunc(tk.interval, tickerFire, tk)
 	}
 }
 
@@ -174,10 +319,15 @@ func (tk *Ticker) Stop() {
 	tk.sim.Cancel(tk.ev)
 }
 
-// heap maintenance: a binary min-heap ordered by (time, seq).
+// Heap maintenance: a 4-ary min-heap of arena indices ordered by
+// (time, seq). Branching factor 4 keeps the comparator identical to the
+// classic binary heap — the fire order is a property of the total order,
+// not the tree shape — while touching ~half the levels per operation.
+
+const heapArity = 4
 
 func (s *Sim) less(i, j int) bool {
-	a, b := s.heap[i], s.heap[j]
+	a, b := &s.nodes[s.heap[i]], &s.nodes[s.heap[j]]
 	if a.time != b.time {
 		return a.time < b.time
 	}
@@ -186,13 +336,13 @@ func (s *Sim) less(i, j int) bool {
 
 func (s *Sim) swap(i, j int) {
 	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
-	s.heap[i].pos = i
-	s.heap[j].pos = j
+	s.nodes[s.heap[i]].pos = int32(i)
+	s.nodes[s.heap[j]].pos = int32(j)
 }
 
 func (s *Sim) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !s.less(i, parent) {
 			break
 		}
@@ -204,13 +354,19 @@ func (s *Sim) up(i int) {
 func (s *Sim) down(i int) {
 	n := len(s.heap)
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && s.less(l, smallest) {
-			smallest = l
+		first := heapArity*i + 1
+		if first >= n {
+			return
 		}
-		if r < n && s.less(r, smallest) {
-			smallest = r
+		smallest := i
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first; c < end; c++ {
+			if s.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if smallest == i {
 			return
@@ -218,15 +374,4 @@ func (s *Sim) down(i int) {
 		s.swap(i, smallest)
 		i = smallest
 	}
-}
-
-func (s *Sim) pop() {
-	e := s.heap[0]
-	last := len(s.heap) - 1
-	s.swap(0, last)
-	s.heap = s.heap[:last]
-	if last > 0 {
-		s.down(0)
-	}
-	e.pos = -1
 }

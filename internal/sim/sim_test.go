@@ -76,7 +76,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var order []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 50; i++ {
 		i := i
 		events = append(events, s.Schedule(float64(i), func() { order = append(order, i) }))
@@ -102,10 +102,10 @@ func TestCancelMiddleOfHeap(t *testing.T) {
 	}
 }
 
-func TestCancelNil(t *testing.T) {
+func TestCancelZeroEvent(t *testing.T) {
 	s := New()
-	if s.Cancel(nil) {
-		t.Fatal("cancel(nil) returned true")
+	if s.Cancel(Event{}) {
+		t.Fatal("cancel of the zero Event returned true")
 	}
 }
 
@@ -290,7 +290,7 @@ func TestCancelProperty(t *testing.T) {
 			cancel bool
 		}
 		var recs []rec
-		var events []*Event
+		var events []Event
 		var fired []rec
 		for i := 0; i < n; i++ {
 			rc := rec{t: r.Float64() * 100, seq: i, cancel: r.Float64() < 0.3}

@@ -49,10 +49,10 @@ func (m *MMPPSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 	svc := r.Split("mmpp/service")
 	mod := r.Split("mmpp/modulation")
 
-	var pending *sim.Event
+	var pending sim.Event
 	var arrive func()
 	schedule := func() {
-		pending = nil
+		pending = sim.Event{}
 		rate := m.Rates[m.state]
 		if rate <= 0 {
 			return // silent state: the next flip reschedules
@@ -61,7 +61,7 @@ func (m *MMPPSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 	}
 	arrive = func() {
 		now := s.Now()
-		pending = nil
+		pending = sim.Event{}
 		if m.Horizon > 0 && now >= m.Horizon {
 			return
 		}
@@ -70,13 +70,11 @@ func (m *MMPPSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 	}
 
 	// State switching chain: cancel any pending arrival and redraw its
-	// gap under the new rate.
+	// gap under the new rate (canceling the zero handle is a no-op).
 	var flip func()
 	flip = func() {
 		m.state = 1 - m.state
-		if pending != nil {
-			s.Cancel(pending)
-		}
+		s.Cancel(pending)
 		if m.Horizon == 0 || s.Now() < m.Horizon {
 			schedule()
 			s.Schedule(mod.ExpFloat64()*m.Sojourns[m.state], flip)

@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"sort"
-
 	"vmprov/internal/sim"
 	"vmprov/internal/stats"
 )
@@ -64,14 +62,15 @@ func (ts *TraceSource) MeanRate(float64) float64 {
 	return float64(len(ts.Requests)) / maxT
 }
 
-// Start schedules every trace request at its arrival time.
+// Start replays the trace through a single walking kernel event instead
+// of one event per request, so replaying a production-sized trace does
+// not materialize the whole trace in the pending set.
 func (ts *TraceSource) Start(s *sim.Sim, _ *stats.RNG, emit func(Request)) {
-	reqs := append([]Request(nil), ts.Requests...)
-	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
-	for _, q := range reqs {
-		q := q
-		s.At(q.Arrival, func() { emit(q) })
+	if len(ts.Requests) == 0 {
+		return
 	}
+	wk := &batchWalker{s: s, emit: emit}
+	wk.start(append([]Request(nil), ts.Requests...))
 }
 
 // StepSource produces Poisson arrivals whose rate is piecewise constant:
