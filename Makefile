@@ -1,15 +1,18 @@
 # CI entry points for the vmprov reproduction. `make ci` is the gate a PR
 # must pass: static checks, the full test suite with the race detector,
-# the kernel fuzz targets in short mode, and a bench smoke run that
-# regenerates BENCH_kernel.json so kernel throughput is tracked per PR.
+# the kernel fuzz targets in short mode, and bench smoke runs that
+# regenerate BENCH_kernel.json and exercise the sweep benchmark path so
+# kernel and panel throughput are tracked per PR.
 
 GO        ?= go
 FUZZTIME  ?= 10s
 BENCHOUT  ?= BENCH_kernel.json
+SWEEPOUT  ?= BENCH_sweep.json
+SWEEPTMP  ?= /tmp/BENCH_sweep_fresh.json
 
-.PHONY: ci vet build test race fuzz bench-smoke bench golden
+.PHONY: ci vet build test race sweep-race fuzz bench-smoke sweep-smoke bench bench-sweep bench-compare golden
 
-ci: vet build race fuzz bench-smoke
+ci: vet build race sweep-race fuzz bench-smoke sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +26,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The sweep engine's concurrency properties under the race detector:
+# pooled workers, result placement, and the serialized completion hook.
+sweep-race:
+	$(GO) test -race -count=1 ./internal/experiment -run 'TestSweep|TestRunContext|TestRunParallel'
+
 # Short fuzzing of the kernel's heap/arena against the reference
 # scheduler. The seed corpus also runs on every plain `go test`.
 fuzz:
@@ -33,9 +41,26 @@ fuzz:
 bench-smoke:
 	$(GO) run ./cmd/vmprovsim -benchkernel $(BENCHOUT)
 
+# Exercise the sweep benchmark end to end at a tiny panel size; the
+# report goes to a scratch path so the committed record is untouched.
+sweep-smoke:
+	$(GO) run ./cmd/vmprovsim -benchsweep $(SWEEPTMP) -sweephorizon 1800 -sweepreps 1 -sweeptries 1
+
 # Full benchmark sweep with allocation stats (slow; not part of ci).
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate the committed sweep benchmark record at full panel size
+# (web scale 0.1, 6 h horizon, 10 reps; slow).
+bench-sweep:
+	$(GO) run ./cmd/vmprovsim -benchsweep $(SWEEPOUT) -sweepbaseline BENCH_sweep_prechange.json
+
+# Guard against sweep-engine performance regressions: run a fresh full
+# panel benchmark and fail if any engine/worker configuration lost more
+# than 20% replication throughput against the committed record.
+bench-compare:
+	$(GO) run ./cmd/vmprovsim -benchsweep $(SWEEPTMP) -sweepbaseline BENCH_sweep_prechange.json
+	$(GO) run ./cmd/benchdiff -old $(SWEEPOUT) -new $(SWEEPTMP) -tolerance 0.20
 
 # Re-pin the kernel golden file after a DELIBERATE semantic change to
 # event ordering or RNG stream layout. Never run to silence a failure.

@@ -82,7 +82,7 @@ func BenchmarkFig5Web(b *testing.B) {
 	sc.Horizon = Day
 	var results []Result
 	for i := 0; i < b.N; i++ {
-		results = RunAll(sc, 1, uint64(i)+1, 0)
+		results = RunAll(sc, 1, uint64(i)+1, 0, RunOptions{})
 	}
 	b.Log("\n" + FigureTable("Figure 5 (web, scale 0.1, one day)", results))
 	reportAdaptive(b, results[0])
@@ -96,7 +96,7 @@ func BenchmarkFig6Sci(b *testing.B) {
 	sc := Sci(1)
 	var results []Result
 	for i := 0; i < b.N; i++ {
-		results = RunAll(sc, 1, uint64(i)+1, 0)
+		results = RunAll(sc, 1, uint64(i)+1, 0, RunOptions{})
 	}
 	b.Log("\n" + FigureTable("Figure 6 (scientific, scale 1)", results))
 	reportAdaptive(b, results[0])

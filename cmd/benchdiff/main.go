@@ -1,0 +1,117 @@
+// benchdiff compares two -benchsweep reports and fails when the new
+// one regresses beyond a tolerance, so `make bench-compare` can gate
+// changes against the committed BENCH_sweep.json.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_sweep.json -new /tmp/BENCH_sweep_now.json -tolerance 0.20
+//
+// Runs are matched by (engine, workers). For each pair the replication
+// throughput is compared; a drop of more than the tolerance on any
+// matched run exits non-zero. Allocation counts are reported but not
+// gated — they vary with GC timing far less than wall-clock noise, yet
+// a hard gate on them would still flake on warmup effects.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type run struct {
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
+	Jobs         int     `json:"jobs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	RepsPerSec   float64 `json:"reps_per_sec"`
+	AllocsPerRep float64 `json:"allocs_per_rep"`
+}
+
+type report struct {
+	Scenario string  `json:"scenario"`
+	Scale    float64 `json:"scale"`
+	HorizonS float64 `json:"horizon_s"`
+	Reps     int     `json:"reps"`
+	Runs     []run   `json:"runs"`
+}
+
+func load(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return rep, fmt.Errorf("%s has no runs", path)
+	}
+	return rep, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_sweep.json", "committed baseline report")
+	newPath := flag.String("new", "", "freshly measured report")
+	tol := flag.Float64("tolerance", 0.20, "max allowed fractional throughput drop")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if oldRep.Scenario != newRep.Scenario || oldRep.Scale != newRep.Scale ||
+		oldRep.HorizonS != newRep.HorizonS || oldRep.Reps != newRep.Reps {
+		fmt.Fprintf(os.Stderr, "benchdiff: panel mismatch: old %s scale %g horizon %g reps %d vs new %s scale %g horizon %g reps %d\n",
+			oldRep.Scenario, oldRep.Scale, oldRep.HorizonS, oldRep.Reps,
+			newRep.Scenario, newRep.Scale, newRep.HorizonS, newRep.Reps)
+		os.Exit(2)
+	}
+
+	oldByKey := make(map[string]run, len(oldRep.Runs))
+	for _, r := range oldRep.Runs {
+		oldByKey[fmt.Sprintf("%s/%d", r.Engine, r.Workers)] = r
+	}
+
+	failed := false
+	matched := 0
+	fmt.Printf("%-14s %12s %12s %8s %14s\n", "run", "old reps/s", "new reps/s", "Δ", "allocs/rep")
+	for _, n := range newRep.Runs {
+		key := fmt.Sprintf("%s/%d", n.Engine, n.Workers)
+		o, ok := oldByKey[key]
+		if !ok {
+			fmt.Printf("%-14s %12s %12.2f %8s %14.0f  (new run, no baseline)\n", key, "—", n.RepsPerSec, "—", n.AllocsPerRep)
+			continue
+		}
+		matched++
+		delta := n.RepsPerSec/o.RepsPerSec - 1
+		status := ""
+		if delta < -*tol {
+			status = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-14s %12.2f %12.2f %+7.1f%% %7.0f→%-6.0f%s\n",
+			key, o.RepsPerSec, n.RepsPerSec, delta*100, o.AllocsPerRep, n.AllocsPerRep, status)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no runs matched between reports")
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% on at least one run\n", *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d run(s) within %.0f%% of baseline\n", matched, *tol*100)
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vmprov"
+)
+
+// Sweep benchmark mode: -benchsweep FILE runs a full experiment panel
+// (the web scenario's adaptive policy plus every static baseline, reps
+// replications each) through both the legacy per-policy runner and the
+// sweep engine, and writes a JSON record of panel wall-clock,
+// replication throughput, allocation behavior, and the worker-scaling
+// curve, so the perf trajectory of the sweep engine is tracked across
+// PRs alongside the kernel record in BENCH_kernel.json.
+
+type sweepBenchRun struct {
+	Engine         string  `json:"engine"` // "prechange", "legacy", or "sweep"
+	Workers        int     `json:"workers"`
+	Jobs           int     `json:"jobs"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RepsPerSec     float64 `json:"reps_per_sec"`
+	BytesPerRep    float64 `json:"bytes_per_rep"`
+	AllocsPerRep   float64 `json:"allocs_per_rep"`
+	TotalRequests  uint64  `json:"total_requests"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}
+
+type sweepBenchReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Scenario    string          `json:"scenario"`
+	Scale       float64         `json:"scale"`
+	HorizonS    float64         `json:"horizon_s"`
+	Reps        int             `json:"reps"`
+	Policies    int             `json:"policies"`
+	Baseline    *sweepBenchRun  `json:"baseline,omitempty"`
+	BaselineRef string          `json:"baseline_ref,omitempty"`
+	Runs        []sweepBenchRun `json:"runs"`
+	Speedup     float64         `json:"speedup_vs_baseline,omitempty"`
+}
+
+// panelJobs builds the flat job list of one Figure-5-style panel:
+// adaptive plus every static baseline, reps seeded replications each.
+func panelJobs(sc vmprov.Scenario, reps int) []vmprov.Job {
+	policies := []vmprov.Policy{vmprov.Adaptive()}
+	for _, m := range sc.StaticFleets {
+		policies = append(policies, vmprov.Static(m))
+	}
+	jobs := make([]vmprov.Job, 0, len(policies)*reps)
+	for _, pol := range policies {
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, vmprov.Job{Scenario: sc, Policy: pol, Seed: 1 + uint64(r)})
+		}
+	}
+	return jobs
+}
+
+// measurePanel runs fn (which executes the whole panel and returns its
+// total request count) under GC-delta instrumentation, tries times, and
+// reports the fastest try — the standard defense against scheduler and
+// frequency noise on a shared host: the minimum is the measurement least
+// polluted by interference.
+func measurePanel(engine string, workers, jobs, tries int, fn func() uint64) sweepBenchRun {
+	if tries < 1 {
+		tries = 1
+	}
+	var best sweepBenchRun
+	for t := 0; t < tries; t++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		requests := fn()
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+
+		run := sweepBenchRun{
+			Engine:        engine,
+			Workers:       workers,
+			Jobs:          jobs,
+			WallSeconds:   wall,
+			TotalRequests: requests,
+		}
+		if wall > 0 {
+			run.RepsPerSec = float64(jobs) / wall
+			run.RequestsPerSec = float64(requests) / wall
+		}
+		run.BytesPerRep = float64(after.TotalAlloc-before.TotalAlloc) / float64(jobs)
+		run.AllocsPerRep = float64(after.Mallocs-before.Mallocs) / float64(jobs)
+		if t == 0 || run.WallSeconds < best.WallSeconds {
+			best = run
+		}
+	}
+	return best
+}
+
+// benchLegacy reproduces the pre-sweep-engine execution shape: policies
+// strictly in sequence (the old RunAll barrier) and a fresh simulator,
+// data center, and collector per replication — no context pooling. It
+// is the in-process regression reference for bench-compare.
+func benchLegacy(sc vmprov.Scenario, reps, tries int) sweepBenchRun {
+	jobs := panelJobs(sc, reps)
+	return measurePanel("legacy", 1, len(jobs), tries, func() uint64 {
+		var requests uint64
+		for _, j := range jobs {
+			res, _ := vmprov.RunOnce(j.Scenario, j.Policy, j.Seed, vmprov.RunOptions{})
+			requests += res.Accepted + res.Rejected
+		}
+		return requests
+	})
+}
+
+// benchSweepEngine runs the same panel as one flat queue over the
+// pooled worker pool.
+func benchSweepEngine(sc vmprov.Scenario, reps, workers, tries int) sweepBenchRun {
+	jobs := panelJobs(sc, reps)
+	return measurePanel("sweep", workers, len(jobs), tries, func() uint64 {
+		results := vmprov.Sweep(jobs, vmprov.SweepOptions{Workers: workers})
+		var requests uint64
+		for _, res := range results {
+			requests += res.Accepted + res.Rejected
+		}
+		return requests
+	})
+}
+
+// loadBaseline extracts the reference run from a previously written
+// report: its explicit baseline if present, else its first run.
+func loadBaseline(path string) (*sweepBenchRun, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep sweepBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if rep.Baseline != nil {
+		return rep.Baseline, nil
+	}
+	if len(rep.Runs) == 0 {
+		return nil, fmt.Errorf("baseline %s has no runs", path)
+	}
+	return &rep.Runs[0], nil
+}
+
+// runSweepBench executes the sweep benchmark and writes the JSON
+// report. baselinePath, when non-empty, names a prior report whose
+// reference run is embedded and used for the speedup figure; otherwise
+// the in-process legacy run serves as the baseline.
+func runSweepBench(outPath, baselinePath string, scale, horizon float64, reps, tries int) error {
+	sc := vmprov.Web(scale)
+	sc.Horizon = horizon
+	rep := sweepBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scenario:    sc.Name,
+		Scale:       scale,
+		HorizonS:    horizon,
+		Reps:        reps,
+		Policies:    1 + len(sc.StaticFleets),
+	}
+
+	legacy := benchLegacy(sc, reps, tries)
+	fmt.Fprintf(os.Stderr, "bench %-6s workers=%d: %d jobs in %6.2fs — %5.2f reps/s, %6.0f allocs/rep\n",
+		legacy.Engine, legacy.Workers, legacy.Jobs, legacy.WallSeconds, legacy.RepsPerSec, legacy.AllocsPerRep)
+	rep.Runs = append(rep.Runs, legacy)
+
+	// Worker-scaling curve: 1, 2, 4, and GOMAXPROCS workers (deduped).
+	curve := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		curve = append(curve, n)
+	}
+	for _, w := range curve {
+		run := benchSweepEngine(sc, reps, w, tries)
+		fmt.Fprintf(os.Stderr, "bench %-6s workers=%d: %d jobs in %6.2fs — %5.2f reps/s, %6.0f allocs/rep\n",
+			run.Engine, run.Workers, run.Jobs, run.WallSeconds, run.RepsPerSec, run.AllocsPerRep)
+		rep.Runs = append(rep.Runs, run)
+	}
+
+	if baselinePath != "" {
+		base, err := loadBaseline(baselinePath)
+		if err != nil {
+			return err
+		}
+		rep.Baseline = base
+		rep.BaselineRef = baselinePath
+	} else {
+		rep.Baseline = &legacy
+		rep.BaselineRef = "in-process legacy engine"
+	}
+	// Speedup of the single-worker sweep run over the baseline — the
+	// apples-to-apples panel wall-clock comparison on one core.
+	for _, run := range rep.Runs {
+		if run.Engine == "sweep" && run.Workers == 1 && run.WallSeconds > 0 {
+			rep.Speedup = rep.Baseline.WallSeconds / run.WallSeconds
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "speedup vs baseline (%s): %.2f×\n", rep.BaselineRef, rep.Speedup)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

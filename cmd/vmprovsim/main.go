@@ -48,6 +48,13 @@ func main() {
 		benchKernel = flag.String("benchkernel", "", "run the kernel throughput benchmark and write its JSON report to this file")
 		benchScales = flag.String("benchscales", "0.1,1", "comma-separated web load scales for -benchkernel")
 		benchHoriz  = flag.Float64("benchhorizon", 3600, "simulated seconds per -benchkernel run")
+
+		benchSweep  = flag.String("benchsweep", "", "run the sweep-engine panel benchmark and write its JSON report to this file")
+		sweepBase   = flag.String("sweepbaseline", "", "prior -benchsweep report to embed as the speedup baseline (default: in-process legacy run)")
+		sweepScale  = flag.Float64("sweepscale", 0.1, "web load scale for -benchsweep")
+		sweepHoriz  = flag.Float64("sweephorizon", 21600, "simulated seconds per -benchsweep replication")
+		sweepReps   = flag.Int("sweepreps", 10, "replications per policy for -benchsweep")
+		sweepTries  = flag.Int("sweeptries", 3, "measurement repetitions per -benchsweep configuration (fastest wins)")
 	)
 	flag.Parse()
 
@@ -94,6 +101,15 @@ func main() {
 		return
 	}
 
+	if *benchSweep != "" {
+		if err := runSweepBench(*benchSweep, *sweepBase, *sweepScale, *sweepHoriz, *sweepReps, *sweepTries); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sweep bench → %s\n", *benchSweep)
+		return
+	}
+
 	var sc vmprov.Scenario
 	switch *scenario {
 	case "web":
@@ -115,7 +131,7 @@ func main() {
 	}
 
 	if *all {
-		results := vmprov.RunAll(sc, *reps, *seed, *workers)
+		results := vmprov.RunAll(sc, *reps, *seed, *workers, vmprov.RunOptions{})
 		if *reportMD != "" {
 			_, series := vmprov.RunOnce(sc, vmprov.Adaptive(), *seed, vmprov.RunOptions{TrackSeries: true})
 			md := report.Markdown(report.Meta{
@@ -180,7 +196,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, res)
 		return
 	}
-	agg, runs := vmprov.Run(sc, pol, *reps, *seed, *workers)
+	agg, runs := vmprov.Run(sc, pol, *reps, *seed, *workers, vmprov.RunOptions{})
 	if *csv {
 		fmt.Print(vmprov.ResultsCSV(append(runs, agg)))
 		return

@@ -24,7 +24,7 @@ func main() {
 	fmt.Printf("true mean rates:    peak %.4f req/s, off-peak %.4f req/s\n\n",
 		an.Model.MeanRate(10*3600), an.Model.MeanRate(0))
 
-	results := vmprov.RunAll(sc, *reps, 1, 0)
+	results := vmprov.RunAll(sc, *reps, 1, 0, vmprov.RunOptions{})
 	fmt.Print(vmprov.FigureTable(
 		fmt.Sprintf("scientific scenario, scale 1, %d replications — paper Figure 6", *reps),
 		results))

@@ -71,6 +71,7 @@ type Instance struct {
 	Served      uint64
 
 	sim        *sim.Sim
+	fire       sim.FireID // interned completion callback for this instance
 	onComplete func(Completion)
 }
 
@@ -84,7 +85,7 @@ func NewInstance(s *sim.Sim, vm cloud.VM, k int, onComplete func(Completion)) *I
 	if vm.Spec.Capacity <= 0 {
 		panic(fmt.Sprintf("app: VM capacity %v must be positive", vm.Spec.Capacity))
 	}
-	return &Instance{
+	in := &Instance{
 		VM:         vm,
 		K:          k,
 		state:      Booting,
@@ -92,6 +93,8 @@ func NewInstance(s *sim.Sim, vm cloud.VM, k int, onComplete func(Completion)) *I
 		sim:        s,
 		onComplete: onComplete,
 	}
+	in.fire = s.RegisterFire(completeInstance, in)
+	return in
 }
 
 // State returns the instance lifecycle state.
@@ -217,15 +220,23 @@ func (in *Instance) EvictWaiting(idx int) workload.Request {
 }
 
 // startService begins executing req now; the VM's relative capacity
-// scales the execution time. The completion is scheduled through
-// ScheduleFunc with the instance as the argument: a method value here
-// would allocate a fresh closure for every served request, which at full
-// web scale is half a billion allocations per simulated week.
+// scales the execution time. The completion is scheduled through the
+// instance's pre-registered fire handle: a method value here would
+// allocate a fresh closure for every served request, which at full web
+// scale is half a billion allocations per simulated week.
 func (in *Instance) startService(req workload.Request) {
 	in.busy = true
 	in.cur = req
 	in.curAt = in.sim.Now()
-	in.sim.ScheduleFunc(req.Service/in.VM.Spec.Capacity, completeInstance, in)
+	d := req.Service
+	// Skip the division on unit-capacity VMs (every base scenario): an FP
+	// divide per served request is measurable at web scale.
+	if c := in.VM.Spec.Capacity; c != 1 {
+		d = req.Service / c
+	}
+	// Fire-and-forget: completions are never canceled, so they take the
+	// arena-free scheduling path through the instance's interned callback.
+	in.sim.ScheduleFire(d, in.fire)
 }
 
 // completeInstance is the shared completion callback for all instances.

@@ -127,6 +127,24 @@ func NewDefault() *Datacenter {
 	return New(DefaultHosts, HostSpec{Cores: DefaultHostCores, RAMMB: DefaultHostRAM})
 }
 
+// Reset releases every VM and rewinds the ID counter and placement
+// cursor, returning the data center to its just-constructed state while
+// keeping the host array and placement map. The power meter (if enabled)
+// restarts at zero with the same model. Pooled replication contexts use
+// this to reuse one data center across runs without allocating.
+func (dc *Datacenter) Reset() {
+	for i := range dc.hosts {
+		h := &dc.hosts[i]
+		h.usedCores, h.usedRAM, h.vms = 0, 0, 0
+	}
+	dc.nextID = 0
+	dc.rrCursor = 0
+	clear(dc.placed)
+	if dc.power != nil {
+		*dc.power = powerMeter{model: dc.power.model}
+	}
+}
+
 // Provision places a VM on the host with the fewest running VMs that can
 // fit it (ties broken by lowest host index) and returns its handle. now
 // is the current virtual time, used for energy accounting.

@@ -26,6 +26,16 @@ func NewFederation(members ...*Datacenter) *Federation {
 	return &Federation{members: members, placed: make(map[int]fedVM)}
 }
 
+// Reset rewinds the federation and every member data center to their
+// just-constructed state, keeping allocated structures for reuse.
+func (f *Federation) Reset() {
+	f.nextID = 0
+	clear(f.placed)
+	for _, dc := range f.members {
+		dc.Reset()
+	}
+}
+
 // Members returns the number of member clouds.
 func (f *Federation) Members() int { return len(f.members) }
 

@@ -64,8 +64,8 @@ func TestRunOnceDeterminism(t *testing.T) {
 func TestRunParallelMatchesSerial(t *testing.T) {
 	sc := Sci(1)
 	pol := AdaptivePolicy()
-	serialAgg, serialRuns := Run(sc, pol, 4, 7, 1)
-	parAgg, parRuns := Run(sc, pol, 4, 7, 4)
+	serialAgg, serialRuns := Run(sc, pol, 4, 7, 1, RunOptions{})
+	parAgg, parRuns := Run(sc, pol, 4, 7, 4, RunOptions{})
 	if len(serialRuns) != 4 || len(parRuns) != 4 {
 		t.Fatal("replication counts wrong")
 	}
@@ -81,7 +81,7 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 
 func TestRunAllOrderAndNames(t *testing.T) {
 	sc := Sci(0.2)
-	results := RunAll(sc, 1, 1, 0)
+	results := RunAll(sc, 1, 1, 0, RunOptions{})
 	if len(results) != 6 {
 		t.Fatalf("RunAll returned %d results, want 6", len(results))
 	}
@@ -104,7 +104,7 @@ func TestRunAllOrderAndNames(t *testing.T) {
 // static fleet wastes utilization.
 func TestSciPaperShape(t *testing.T) {
 	sc := Sci(1)
-	results := RunAll(sc, 3, 11, 0)
+	results := RunAll(sc, 3, 11, 0, RunOptions{})
 	byName := map[string]int{}
 	for i, r := range results {
 		byName[r.Policy] = i
@@ -209,7 +209,7 @@ func TestRunOnceSeriesTracking(t *testing.T) {
 
 func TestFigureTableFormat(t *testing.T) {
 	sc := Sci(0.2)
-	results := RunAll(sc, 1, 5, 0)
+	results := RunAll(sc, 1, 5, 0, RunOptions{})
 	table := FigureTable("Figure 6 analogue", results)
 	for _, want := range []string{"policy", "min inst", "rejection", "utilization", "VM hours", "Adaptive", "Static-15"} {
 		if !strings.Contains(table, want) {

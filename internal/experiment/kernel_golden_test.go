@@ -178,8 +178,8 @@ func TestRunWorkerIndependence(t *testing.T) {
 	sc.Horizon = workload.Day / 4
 	const reps = 8
 	for _, pol := range []Policy{AdaptivePolicy(), StaticPolicy(3)} {
-		_, seq := Run(sc, pol, reps, 11, 1)
-		_, par := Run(sc, pol, reps, 11, 8)
+		_, seq := Run(sc, pol, reps, 11, 1, RunOptions{})
+		_, par := Run(sc, pol, reps, 11, 8, RunOptions{})
 		if len(seq) != len(par) {
 			t.Fatalf("%s: replication counts differ: %d vs %d", pol.Name, len(seq), len(par))
 		}

@@ -1,14 +1,8 @@
 package experiment
 
 import (
-	"runtime"
-	"sync"
-
-	"vmprov/internal/cloud"
 	"vmprov/internal/metrics"
 	"vmprov/internal/provision"
-	"vmprov/internal/sim"
-	"vmprov/internal/stats"
 	"vmprov/internal/trace"
 	"vmprov/internal/workload"
 )
@@ -64,88 +58,53 @@ type RunOptions struct {
 
 // RunOnce executes one seeded replication of a policy over a scenario and
 // returns its metrics. The run is deterministic in (scenario, policy,
-// seed).
+// seed). It builds a fresh replication context; sweeps over many
+// replications should go through Sweep (or Run/RunAll), which pool and
+// rewind contexts instead.
 func RunOnce(sc Scenario, pol Policy, seed uint64, opts RunOptions) (metrics.Result, []metrics.SeriesPoint) {
-	if err := sc.Validate(); err != nil {
-		panic(err)
-	}
-	s := sim.New()
-	dc := cloud.NewDefault()
-	dc.SetPlacement(sc.Placement)
-	dc.SetPowerModel(cloud.DefaultPowerModel())
-	col := metrics.NewCollector(sc.Cfg.QoS.Ts)
-	col.TrackSeries = opts.TrackSeries
-	p := provision.NewProvisioner(s, dc, sc.Cfg, col)
-
-	if opts.Tracer != nil {
-		p.SetTracer(opts.Tracer)
-	}
-	src := sc.NewSource()
-	ctrl, analyzer := pol.Build(sc, src)
-	if ad, ok := ctrl.(*provision.Adaptive); ok && opts.Tracer != nil {
-		ad.Tracer = opts.Tracer
-	}
-	ctrl.Attach(s, p)
-
-	emit := p.Submit
-	if obs, ok := analyzer.(workload.ObservingAnalyzer); ok {
-		emit = func(q workload.Request) {
-			obs.Observe(q.Arrival)
-			p.Submit(q)
-		}
-	}
-	src.Start(s, stats.NewRNG(seed), emit)
-
-	s.RunUntil(sc.Horizon)
-	p.Shutdown(sc.Horizon)
-	res := col.Result(pol.Name, sc.Horizon)
-	res.EnergyKWh = dc.EnergyKWh(sc.Horizon)
-	res.Events = s.Processed()
-	return res, col.Series
+	return NewRunContext().Run(sc, pol, seed, opts)
 }
 
-// Run executes reps seeded replications (seeds base, base+1, ...) in
-// parallel across at most workers goroutines (0 = GOMAXPROCS) and returns
+// Run executes reps seeded replications (seeds base, base+1, ...) over
+// the sweep engine's worker pool (workers 0 = GOMAXPROCS) and returns
 // the per-replication results plus their aggregate — the paper reports
-// the average over 10 repetitions.
-func Run(sc Scenario, pol Policy, reps int, baseSeed uint64, workers int) (agg metrics.Result, runs []metrics.Result) {
+// the average over 10 repetitions. opts apply to every replication.
+func Run(sc Scenario, pol Policy, reps int, baseSeed uint64, workers int, opts RunOptions) (agg metrics.Result, runs []metrics.Result) {
 	if reps < 1 {
 		reps = 1
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	jobs := make([]Job, reps)
+	for i := range jobs {
+		jobs[i] = Job{Scenario: sc, Policy: pol, Seed: baseSeed + uint64(i)}
 	}
-	if workers > reps {
-		workers = reps
-	}
-	runs = make([]metrics.Result, reps)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < reps; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			runs[i], _ = RunOnce(sc, pol, baseSeed+uint64(i), RunOptions{})
-		}(i)
-	}
-	wg.Wait()
+	runs = Sweep(jobs, SweepOptions{Workers: workers, RunOptions: opts})
 	return metrics.Aggregate(runs), runs
 }
 
 // RunAll evaluates the adaptive policy and every static baseline of the
 // scenario, returning aggregated results in presentation order (Adaptive
 // first, then Static-* ascending) — one full panel row set of the paper's
-// Figure 5 or 6.
-func RunAll(sc Scenario, reps int, baseSeed uint64, workers int) []metrics.Result {
+// Figure 5 or 6. The whole panel is one flat job queue over the sweep
+// engine's persistent worker pool: no barrier separates policies, so a
+// slow policy's stragglers overlap the next policy's replications.
+func RunAll(sc Scenario, reps int, baseSeed uint64, workers int, opts RunOptions) []metrics.Result {
+	if reps < 1 {
+		reps = 1
+	}
 	policies := []Policy{AdaptivePolicy()}
 	for _, m := range sc.StaticFleets {
 		policies = append(policies, StaticPolicy(m))
 	}
+	jobs := make([]Job, 0, len(policies)*reps)
+	for _, pol := range policies {
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, Job{Scenario: sc, Policy: pol, Seed: baseSeed + uint64(r)})
+		}
+	}
+	flat := Sweep(jobs, SweepOptions{Workers: workers, RunOptions: opts})
 	results := make([]metrics.Result, len(policies))
-	for i, pol := range policies {
-		results[i], _ = Run(sc, pol, reps, baseSeed, workers)
+	for i := range policies {
+		results[i] = metrics.Aggregate(flat[i*reps : (i+1)*reps])
 	}
 	return results
 }

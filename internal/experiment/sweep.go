@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vmprov/internal/cloud"
+	"vmprov/internal/metrics"
+	"vmprov/internal/provision"
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/trace"
+	"vmprov/internal/workload"
+)
+
+// Job is one cell of an experiment panel: a seeded replication of one
+// policy over one scenario. Sweeps run flat lists of jobs, so a panel's
+// policy × scale × replication grid is scheduled with no barriers
+// between policies.
+type Job struct {
+	Scenario Scenario
+	Policy   Policy
+	Seed     uint64
+}
+
+// RunContext is a reusable replication context: a simulator, a data
+// center, and a metrics collector that are rewound (not reallocated)
+// between runs. One context is owned by one worker at a time; it is not
+// safe for concurrent use. After warmup, running a replication in a
+// pooled context allocates only the per-run provisioner and workload
+// source — the arena, heap, host array, histogram buckets, and series
+// buffer are all reused.
+type RunContext struct {
+	s   *sim.Sim
+	dc  *cloud.Datacenter
+	col *metrics.Collector
+}
+
+// NewRunContext creates an empty context. The first Run warms it up;
+// later runs reuse its buffers.
+func NewRunContext() *RunContext {
+	dc := cloud.NewDefault()
+	dc.SetPowerModel(cloud.DefaultPowerModel())
+	return &RunContext{
+		s:   sim.New(),
+		dc:  dc,
+		col: metrics.NewCollector(1),
+	}
+}
+
+// Run executes one seeded replication inside the pooled context. Results
+// are bit-identical to a fresh-context RunOnce at the same (scenario,
+// policy, seed): Reset restores every piece of observable state, and
+// arena slot reuse order — the only thing that differs — is invisible to
+// the (time, seq) event order.
+//
+// The returned series slice aliases the context's reusable buffer; copy
+// it before the context runs again if it must outlive this replication.
+func (rc *RunContext) Run(sc Scenario, pol Policy, seed uint64, opts RunOptions) (metrics.Result, []metrics.SeriesPoint) {
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	s, dc, col := rc.s, rc.dc, rc.col
+	s.Reset()
+	dc.Reset()
+	dc.SetPlacement(sc.Placement)
+	col.Reset(sc.Cfg.QoS.Ts)
+	col.TrackSeries = opts.TrackSeries
+	p := provision.NewProvisioner(s, dc, sc.Cfg, col)
+
+	if opts.Tracer != nil {
+		p.SetTracer(opts.Tracer)
+	}
+	src := sc.NewSource()
+	ctrl, analyzer := pol.Build(sc, src)
+	if ad, ok := ctrl.(*provision.Adaptive); ok && opts.Tracer != nil {
+		ad.Tracer = opts.Tracer
+	}
+	ctrl.Attach(s, p)
+
+	emit := p.Submit
+	if obs, ok := analyzer.(workload.ObservingAnalyzer); ok {
+		emit = func(q workload.Request) {
+			obs.Observe(q.Arrival)
+			p.Submit(q)
+		}
+	}
+	src.Start(s, stats.NewRNG(seed), emit)
+
+	s.RunUntil(sc.Horizon)
+	p.Shutdown(sc.Horizon)
+	res := col.Result(pol.Name, sc.Horizon)
+	res.EnergyKWh = dc.EnergyKWh(sc.Horizon)
+	res.Events = s.Processed()
+	return res, col.Series
+}
+
+// SweepOptions tune a panel sweep.
+type SweepOptions struct {
+	// Workers is the size of the persistent worker pool (0 = GOMAXPROCS,
+	// clamped to the job count). Each worker owns one RunContext for its
+	// whole lifetime.
+	Workers int
+
+	// RunOptions apply to every replication. A non-nil Tracer is wrapped
+	// in a locked recorder when more than one worker runs.
+	RunOptions
+
+	// OnReplication, when set, observes each finished replication. Calls
+	// are serialized (never concurrent) but arrive in completion order,
+	// not job order; i identifies the job. The series slice aliases the
+	// worker's reusable buffer — copy it to retain it.
+	OnReplication func(i int, res metrics.Result, series []metrics.SeriesPoint)
+}
+
+// Sweep runs every job over a persistent pool of workers pulling from
+// one flat queue and returns the per-job results in job order. Result
+// values are independent of the worker count and of scheduling order:
+// each job is a pure function of (scenario, policy, seed).
+func Sweep(jobs []Job, opts SweepOptions) []metrics.Result {
+	n := len(jobs)
+	results := make([]metrics.Result, n)
+	if n == 0 {
+		return results
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ro := opts.RunOptions
+	if ro.Tracer != nil && workers > 1 {
+		ro.Tracer = trace.Locked(ro.Tracer)
+	}
+	var (
+		next atomic.Int64
+		mu   sync.Mutex // serializes OnReplication
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rc := NewRunContext()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				j := jobs[i]
+				res, series := rc.Run(j.Scenario, j.Policy, j.Seed, ro)
+				results[i] = res
+				if opts.OnReplication != nil {
+					mu.Lock()
+					opts.OnReplication(i, res, series)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

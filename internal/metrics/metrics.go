@@ -23,14 +23,15 @@ type Collector struct {
 
 	responses stats.Welford    // response times (finish − arrival) of accepted requests
 	respHist  *stats.Histogram // response-time distribution for percentiles
-	execs     stats.Welford    // execution times (finish − start)
-	waits     stats.Welford    // queueing delays (start − arrival)
+	execSum   float64          // Σ execution times (finish − start); only the mean is reported
+	waitSum   float64          // Σ queueing delays (start − arrival); only the mean is reported
 	accepted  uint64
 	rejected  uint64
 	violated  uint64
 	missed    uint64 // deadline misses (SLA extension)
 
-	classes map[int]*classStats // per-priority-class accounting
+	class0  classStats          // inline stats for the default class, avoiding a map op per request
+	classes map[int]*classStats // accounting for non-zero priority classes
 
 	instances   stats.TimeWeighted // running-instance count over time
 	everScaled  bool
@@ -60,16 +61,24 @@ func NewCollector(ts float64) *Collector {
 	}
 }
 
-// classStats accumulates one priority class's view of the run.
+// classStats accumulates one priority class's view of the run. Only the
+// mean response is reported per class, so a plain sum suffices — cheaper
+// per request than a Welford update.
 type classStats struct {
 	accepted  uint64
 	rejected  uint64
 	displaced uint64
 	missed    uint64
-	responses stats.Welford
+	respSum   float64
 }
 
 func (c *Collector) class(class int) *classStats {
+	// Class 0 — every request of the paper's base experiments — lives
+	// inline on the collector, so the per-request hot path never touches
+	// the map.
+	if class == 0 {
+		return &c.class0
+	}
 	cs := c.classes[class]
 	if cs == nil {
 		cs = &classStats{}
@@ -78,20 +87,39 @@ func (c *Collector) class(class int) *classStats {
 	return cs
 }
 
+// Reset rewinds the collector for a fresh run with QoS target ts,
+// retaining the histogram buckets, the series buffer, and the class map
+// so a pooled replication context reuses a warmed collector without
+// allocating. TrackSeries is cleared; re-enable it after Reset if needed.
+func (c *Collector) Reset(ts float64) {
+	c.ts = ts
+	c.responses = stats.Welford{}
+	c.respHist.Reset(0, 4*ts)
+	c.execSum, c.waitSum = 0, 0
+	c.accepted, c.rejected, c.violated, c.missed = 0, 0, 0, 0
+	c.class0 = classStats{}
+	clear(c.classes)
+	c.instances = stats.TimeWeighted{}
+	c.everScaled = false
+	c.vmSeconds, c.busySeconds = 0, 0
+	c.TrackSeries = false
+	c.Series = c.Series[:0]
+}
+
 // Complete records one served request.
 func (c *Collector) Complete(req workload.Request, start, finish float64) {
 	c.accepted++
 	resp := finish - req.Arrival
 	c.responses.Add(resp)
 	c.respHist.Add(resp)
-	c.execs.Add(finish - start)
-	c.waits.Add(start - req.Arrival)
+	c.execSum += finish - start
+	c.waitSum += start - req.Arrival
 	if resp > c.ts {
 		c.violated++
 	}
 	cs := c.class(req.Class)
 	cs.accepted++
-	cs.responses.Add(resp)
+	cs.respSum += resp
 	if req.Deadline > 0 && finish > req.Deadline {
 		c.missed++
 		cs.missed++
@@ -113,10 +141,16 @@ func (c *Collector) Displace(req workload.Request) {
 	cs.displaced++
 }
 
-// SetInstances records that n instances are running at time t.
+// SetInstances records that n instances are running at time t. The
+// Min/Max/Avg instance statistics only become meaningful once the fleet
+// actually holds an instance: a run that never scales up (every
+// SetInstances call reporting zero) keeps reporting zeros instead of
+// latching the all-zero signal as if it were observed scaling.
 func (c *Collector) SetInstances(t float64, n int) {
 	c.instances.Set(t, float64(n))
-	c.everScaled = true
+	if n != 0 {
+		c.everScaled = true
+	}
 	if c.TrackSeries {
 		c.Series = append(c.Series, SeriesPoint{T: t, N: n})
 	}
@@ -174,9 +208,11 @@ func (c *Collector) Result(policy string, end float64) Result {
 		MeanResponse:   c.responses.Mean(),
 		StdResponse:    c.responses.Std(),
 		MaxResponse:    c.responses.Max(),
-		MeanExec:       c.execs.Mean(),
-		MeanWait:       c.waits.Mean(),
 		VMHours:        c.vmSeconds / 3600,
+	}
+	if c.accepted > 0 {
+		r.MeanExec = c.execSum / float64(c.accepted)
+		r.MeanWait = c.waitSum / float64(c.accepted)
 	}
 	if c.accepted > 0 {
 		r.P50Response = c.respHist.Quantile(0.50)
@@ -212,23 +248,32 @@ type ClassResult struct {
 // (highest priority first). Runs without explicit classes yield a single
 // class-0 entry.
 func (c *Collector) ClassResults() []ClassResult {
-	out := make([]ClassResult, 0, len(c.classes))
+	out := make([]ClassResult, 0, len(c.classes)+1)
+	if c.class0.accepted+c.class0.rejected > 0 {
+		out = append(out, classResult(0, &c.class0))
+	}
 	for class, cs := range c.classes {
-		r := ClassResult{
-			Class:          class,
-			Accepted:       cs.accepted,
-			Rejected:       cs.rejected,
-			Displaced:      cs.displaced,
-			DeadlineMisses: cs.missed,
-			MeanResponse:   cs.responses.Mean(),
-		}
-		if offered := cs.accepted + cs.rejected; offered > 0 {
-			r.RejectionRate = float64(cs.rejected) / float64(offered)
-		}
-		out = append(out, r)
+		out = append(out, classResult(class, cs))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Class > out[j].Class })
 	return out
+}
+
+func classResult(class int, cs *classStats) ClassResult {
+	r := ClassResult{
+		Class:          class,
+		Accepted:       cs.accepted,
+		Rejected:       cs.rejected,
+		Displaced:      cs.displaced,
+		DeadlineMisses: cs.missed,
+	}
+	if cs.accepted > 0 {
+		r.MeanResponse = cs.respSum / float64(cs.accepted)
+	}
+	if offered := cs.accepted + cs.rejected; offered > 0 {
+		r.RejectionRate = float64(cs.rejected) / float64(offered)
+	}
+	return r
 }
 
 // String formats the result as one readable block.

@@ -120,4 +120,97 @@ func TestAggregateEmpty(t *testing.T) {
 	if agg := Aggregate(nil); agg != (Result{}) {
 		t.Fatalf("empty aggregate nonzero: %+v", agg)
 	}
+	if agg := Aggregate([]Result{}); agg != (Result{}) {
+		t.Fatalf("zero-length aggregate nonzero: %+v", agg)
+	}
+}
+
+func TestAggregateSingle(t *testing.T) {
+	r := Result{Policy: "p", Duration: 10, MinInstances: 3, MaxInstances: 7,
+		AvgInstances: 5, VMHours: 12, Utilization: 0.75, RejectionRate: 0.1,
+		MeanResponse: 1.5, StdResponse: 0.2, MaxResponse: 4, MeanExec: 1,
+		MeanWait: 0.5, Accepted: 90, Rejected: 10, Violations: 2, Events: 500}
+	if agg := Aggregate([]Result{r}); agg != r {
+		t.Fatalf("single-run aggregate is not the identity:\n%+v\n%+v", agg, r)
+	}
+}
+
+// TestAggregateMaxResponse: MaxResponse aggregates as the maximum across
+// replications — the worst observed response — not as a mean like the
+// other fields.
+func TestAggregateMaxResponse(t *testing.T) {
+	runs := []Result{
+		{Policy: "p", MaxResponse: 1.0},
+		{Policy: "p", MaxResponse: 9.0},
+		{Policy: "p", MaxResponse: 2.0},
+	}
+	if agg := Aggregate(runs); agg.MaxResponse != 9.0 {
+		t.Fatalf("MaxResponse aggregated to %v, want 9 (max, not mean)", agg.MaxResponse)
+	}
+}
+
+// TestEverScaledLatch: a run whose fleet never holds an instance must
+// report zero instance statistics, while the first nonzero SetInstances
+// latches them on — including a fleet that later drains back to zero.
+func TestEverScaledLatch(t *testing.T) {
+	c := NewCollector(1)
+	c.SetInstances(0, 0)
+	c.SetInstances(10, 0)
+	r := c.Result("p", 20)
+	if r.MinInstances != 0 || r.MaxInstances != 0 || r.AvgInstances != 0 {
+		t.Fatalf("never-scaled run reported instance stats: %+v", r)
+	}
+
+	c.Reset(1)
+	c.SetInstances(0, 0)
+	c.SetInstances(10, 4)
+	c.SetInstances(20, 0)
+	r = c.Result("p", 40)
+	if r.MaxInstances != 4 {
+		t.Fatalf("max instances = %d, want 4", r.MaxInstances)
+	}
+	// (0·10 + 4·10 + 0·20)/40 = 1
+	if math.Abs(r.AvgInstances-1) > 1e-12 {
+		t.Fatalf("avg instances = %v, want 1", r.AvgInstances)
+	}
+
+	// Reset must clear the latch, not carry it into the next replication.
+	c.Reset(1)
+	c.SetInstances(0, 0)
+	if r = c.Result("p", 5); r.MaxInstances != 0 || r.AvgInstances != 0 {
+		t.Fatalf("latch survived Reset: %+v", r)
+	}
+}
+
+// TestClassResultsDescending: per-class results come back highest
+// priority first, with per-class means and rates computed from that
+// class's traffic alone.
+func TestClassResultsDescending(t *testing.T) {
+	c := NewCollector(10)
+	mk := func(class int, arrival float64) workload.Request {
+		return workload.Request{Class: class, Arrival: arrival}
+	}
+	c.Complete(mk(0, 0), 0, 1) // class 0: response 1
+	c.Complete(mk(5, 0), 0, 3) // class 5: response 3
+	c.Complete(mk(5, 0), 0, 5) // class 5: response 5
+	c.Complete(mk(2, 0), 0, 2) // class 2: response 2
+	c.Reject(mk(2, 0))
+	out := c.ClassResults()
+	if len(out) != 3 {
+		t.Fatalf("got %d classes, want 3", len(out))
+	}
+	for i, want := range []int{5, 2, 0} {
+		if out[i].Class != want {
+			t.Fatalf("class order %v, want [5 2 0]", []int{out[0].Class, out[1].Class, out[2].Class})
+		}
+	}
+	if math.Abs(out[0].MeanResponse-4) > 1e-12 {
+		t.Fatalf("class 5 mean response = %v, want 4", out[0].MeanResponse)
+	}
+	if math.Abs(out[1].RejectionRate-0.5) > 1e-12 {
+		t.Fatalf("class 2 rejection rate = %v, want 0.5", out[1].RejectionRate)
+	}
+	if out[2].Accepted != 1 || out[2].Rejected != 0 {
+		t.Fatalf("class 0 counts wrong: %+v", out[2])
+	}
 }

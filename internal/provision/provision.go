@@ -8,7 +8,7 @@ package provision
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"vmprov/internal/app"
 	"vmprov/internal/cloud"
@@ -88,6 +88,20 @@ type Provisioner struct {
 	rr        int             // round-robin cursor
 	target    int             // last requested committed size
 
+	// Incrementally maintained state counters, updated at every instance
+	// transition so Committed() and the admission-control reject path are
+	// O(1) instead of rescanning the fleet. activeFree counts Active
+	// instances that are not Full — when it is zero the round-robin scan
+	// cannot accept and Submit rejects immediately.
+	numBooting  int
+	numActive   int
+	numDraining int
+	activeFree  int
+
+	// Scratch buffers reused across scale-down decisions.
+	scratchIdle []*app.Instance
+	scratchBusy []*app.Instance
+
 	// CapacityShortfalls counts scale-up attempts the data center could
 	// not satisfy (ErrNoCapacity or the MaxVMs ceiling).
 	CapacityShortfalls int
@@ -144,16 +158,9 @@ func (p *Provisioner) MonitoredTm() float64 {
 func (p *Provisioner) Running() int { return len(p.instances) }
 
 // Committed returns the number of instances committed to serving: booting
-// plus active (draining instances are on their way out).
-func (p *Provisioner) Committed() int {
-	n := 0
-	for _, in := range p.instances {
-		if st := in.State(); st == app.Active || st == app.Booting {
-			n++
-		}
-	}
-	return n
-}
+// plus active (draining instances are on their way out). O(1): the counts
+// are maintained at every state transition.
+func (p *Provisioner) Committed() int { return p.numBooting + p.numActive }
 
 // Target returns the size most recently requested via SetTarget.
 func (p *Provisioner) Target() int { return p.target }
@@ -180,25 +187,41 @@ func (p *Provisioner) SetTracer(tr trace.Recorder) { p.tracer = tr }
 // extension adds deadline-aware dispatch and priority displacement; with
 // the defaults both are inert.
 func (p *Provisioner) Submit(req workload.Request) {
-	n := len(p.instances)
-	for i := 0; i < n; i++ {
-		idx := (p.rr + i) % n
-		in := p.instances[idx]
-		if in.State() != app.Active || in.Full() {
-			continue
+	// Fast reject path: when no active instance has a free slot the scan
+	// below cannot accept, so skip it outright. The round-robin cursor is
+	// only advanced on acceptance, so short-circuiting a scan that would
+	// have found nothing leaves the dispatch order untouched.
+	if p.activeFree > 0 {
+		n := len(p.instances)
+		// One modulo normalizes a cursor left beyond the fleet by a
+		// shrink; the probe loop then advances by branch-wrap.
+		idx := p.rr % n
+		for i := 0; i < n; i++ {
+			in := p.instances[idx]
+			if in.State() != app.Active || in.Full() ||
+				(p.cfg.DeadlineAware && req.Deadline > 0 && !p.meetsDeadline(in, req)) {
+				// Branch-wrapped advance: an integer modulo per probe is
+				// measurable at web request rates.
+				if idx++; idx == n {
+					idx = 0
+				}
+				continue
+			}
+			if p.rr = idx + 1; p.rr == n {
+				p.rr = 0
+			}
+			in.Accept(req)
+			if in.Full() {
+				p.activeFree--
+			}
+			if p.tracer != nil {
+				p.tracer.Record(trace.Event{
+					T: p.sim.Now(), Kind: trace.KindAccept,
+					Req: req.ID, Class: req.Class, Inst: in.VM.ID,
+				})
+			}
+			return
 		}
-		if p.cfg.DeadlineAware && req.Deadline > 0 && !p.meetsDeadline(in, req) {
-			continue
-		}
-		p.rr = (idx + 1) % n
-		in.Accept(req)
-		if p.tracer != nil {
-			p.tracer.Record(trace.Event{
-				T: p.sim.Now(), Kind: trace.KindAccept,
-				Req: req.ID, Class: req.Class, Inst: in.VM.ID,
-			})
-		}
-		return
 	}
 	if p.cfg.PreemptLowPriority && p.displaceFor(req) {
 		return
@@ -250,6 +273,11 @@ func (p *Provisioner) displaceFor(req workload.Request) bool {
 // onComplete handles every service completion: metrics, the Tm monitor,
 // and the deferred destruction of drained instances.
 func (p *Provisioner) onComplete(c app.Completion) {
+	// A completion frees one slot; Len()==k-1 now means the instance held
+	// exactly k before, i.e. this completion took it from full to free.
+	if c.Inst.Len() == p.k-1 && c.Inst.State() == app.Active {
+		p.activeFree++
+	}
 	p.col.Complete(c.Req, c.Start, c.Finish)
 	p.monitor.Add(c.Finish - c.Start)
 	if p.tracer != nil {
@@ -269,6 +297,17 @@ func (p *Provisioner) onComplete(c app.Completion) {
 
 // retire destroys an idle instance and releases its VM.
 func (p *Provisioner) retire(in *app.Instance) {
+	switch in.State() {
+	case app.Booting:
+		p.numBooting--
+	case app.Active:
+		p.numActive--
+		if !in.Full() {
+			p.activeFree--
+		}
+	case app.Draining:
+		p.numDraining--
+	}
 	in.Destroy()
 	now := p.sim.Now()
 	if err := p.dc.Release(now, in.VM.ID); err != nil {
@@ -325,6 +364,11 @@ func (p *Provisioner) scaleUp(need int) {
 		}
 		if in.State() == app.Draining {
 			in.Reactivate()
+			p.numDraining--
+			p.numActive++
+			if !in.Full() {
+				p.activeFree++
+			}
 			need--
 		}
 	}
@@ -342,27 +386,50 @@ func (p *Provisioner) scaleUp(need int) {
 		}
 		in := app.NewInstance(p.sim, vm, p.k, p.onComplete)
 		p.instances = append(p.instances, in)
+		p.numBooting++
 		if p.cfg.BootDelay > 0 {
-			p.sim.ScheduleFunc(p.cfg.BootDelay, activateBooted, in)
+			p.sim.ScheduleFunc(p.cfg.BootDelay, activateBooted, &bootEvent{p: p, in: in})
 		} else {
-			in.Activate()
+			p.activate(in)
 		}
 	}
 }
 
+// activate flips a Booting instance to Active and maintains the state
+// counters. A freshly booted instance is empty, so it always contributes
+// a free slot.
+func (p *Provisioner) activate(in *app.Instance) {
+	in.Activate()
+	p.numBooting--
+	p.numActive++
+	if !in.Full() {
+		p.activeFree++
+	}
+}
+
+// bootEvent carries the provisioner alongside the instance through the
+// boot-delay event; allocated only on the non-default BootDelay>0 path.
+type bootEvent struct {
+	p  *Provisioner
+	in *app.Instance
+}
+
 // activateBooted flips an instance that is still booting to Active when
 // its boot delay elapses; scale-downs may have retired it in the
-// meantime. Shared across events so boot scheduling does not allocate.
+// meantime. Shared across events so boot scheduling does not allocate
+// beyond the bootEvent itself.
 func activateBooted(a any) {
-	if in := a.(*app.Instance); in.State() == app.Booting {
-		in.Activate()
+	be := a.(*bootEvent)
+	if be.in.State() == app.Booting {
+		be.p.activate(be.in)
 	}
 }
 
 func (p *Provisioner) scaleDown(excess int) {
 	// Idle instances go first and are destroyed immediately; booting
-	// instances are idle by definition.
-	var idle, busy []*app.Instance
+	// instances are idle by definition. The scratch buffers are reused
+	// across decisions so steady-state scaling does not allocate.
+	idle, busy := p.scratchIdle[:0], p.scratchBusy[:0]
 	for _, in := range p.instances {
 		switch in.State() {
 		case app.Active:
@@ -377,14 +444,16 @@ func (p *Provisioner) scaleDown(excess int) {
 	}
 	// Deterministic order: idle by VM ID; busy by fewest requests in
 	// progress, then VM ID (the paper destroys "the instances with
-	// smaller number of requests in progress").
-	sort.Slice(idle, func(i, j int) bool { return idle[i].VM.ID < idle[j].VM.ID })
-	sort.Slice(busy, func(i, j int) bool {
-		if busy[i].Len() != busy[j].Len() {
-			return busy[i].Len() < busy[j].Len()
+	// smaller number of requests in progress"). Both keys are total
+	// orders (VM IDs are unique), so the sorted permutation is unique.
+	slices.SortFunc(idle, func(a, b *app.Instance) int { return a.VM.ID - b.VM.ID })
+	slices.SortFunc(busy, func(a, b *app.Instance) int {
+		if a.Len() != b.Len() {
+			return a.Len() - b.Len()
 		}
-		return busy[i].VM.ID < busy[j].VM.ID
+		return a.VM.ID - b.VM.ID
 	})
+	p.scratchIdle, p.scratchBusy = idle[:0], busy[:0]
 	for _, in := range idle {
 		if excess == 0 {
 			return
@@ -396,7 +465,12 @@ func (p *Provisioner) scaleDown(excess int) {
 		if excess == 0 {
 			return
 		}
+		if !in.Full() {
+			p.activeFree--
+		}
 		in.MarkDraining()
+		p.numActive--
+		p.numDraining++
 		excess--
 	}
 }

@@ -20,14 +20,18 @@
 //     reused, so steady-state simulation does not grow the arena at all.
 //     The arena is owned by one Sim; replications never share it, which is
 //     why no locking (and no sync.Pool) is needed.
-//   - The pending set is a 4-ary min-heap of arena indices. The higher
-//     branching factor halves the tree depth of the binary heap, trading
-//     slightly more comparisons per sift-down for far fewer cache-missing
-//     levels — the usual win for DES pending sets dominated by pop.
+//   - The pending set is a 4-ary min-heap whose entries embed the ordering
+//     key (time, seq) next to the arena index, so sift-up/down compare
+//     within the heap slice itself instead of dereferencing arena nodes —
+//     one contiguous array walk instead of a pointer chase per level.
 //   - ScheduleFunc/AtFunc take a func(arg any) plus the arg, so hot callers
 //     (request completions, batched arrival walkers) can pass a static
 //     function and a pointer instead of capturing a fresh closure per
 //     event.
+//   - ReserveSeq/PeekNext/InlineFire/AtFuncReserved let a batched event
+//     source (the arrival walkers) consume events inline — advancing the
+//     clock without a heap push+pop per event — while remaining
+//     bit-identical to the scheduled execution order.
 //
 // Event handles carry a generation counter: a handle to a node that has
 // fired (or was canceled) and has since been reused is detected and
@@ -48,13 +52,39 @@ const noEvent = -1
 // time the slot is released, invalidating outstanding handles.
 type node struct {
 	time float64
-	seq  uint64
 	fn   func()    // closure form (nil when afn is used)
 	afn  func(any) // arg-taking form, shared across events
 	arg  any
 	gen  uint32
 	pos  int32 // index in the heap; noEvent when not pending
 	next int32 // next free node; meaningful only while free
+}
+
+// heapEntry is one pending-set slot: the full ordering key plus either an
+// arena index (cancelable events) or a fire-registry handle
+// (fire-and-forget events, id == noEvent). Embedding (time, seq) here
+// keeps heap comparisons inside the contiguous heap slice, and carrying
+// the registry handle inline lets the hot event classes — request
+// completions — skip the arena entirely: no free-list round-trip, no pos
+// maintenance during sifts, no node dereference at fire time. The entry
+// is deliberately pointer-free (24 bytes): sift moves copy entries
+// without GC write barriers and the heap slice is never scanned.
+type heapEntry struct {
+	time float64
+	seq  uint64
+	id   int32 // arena index, or noEvent for inline events
+	fire FireID
+}
+
+// FireID is a handle to an interned (callback, arg) pair, obtained from
+// RegisterFire and consumed by ScheduleFire/DeferReserved. Handles are
+// invalidated by Reset.
+type FireID int32
+
+// fireRef is one interned fire-and-forget callback.
+type fireRef struct {
+	fn  func(any)
+	arg any
 }
 
 // Event is a handle to a scheduled occurrence, returned by the scheduling
@@ -97,16 +127,53 @@ func (e Event) Canceled() bool {
 type Sim struct {
 	now       float64
 	seq       uint64
-	nodes     []node  // event arena
-	heap      []int32 // 4-ary min-heap of arena indices, ordered by (time, seq)
-	free      int32   // head of the free list of arena slots
+	nodes     []node      // event arena
+	heap      []heapEntry // 4-ary min-heap ordered by (time, seq)
+	fires     []fireRef   // interned fire-and-forget callbacks
+	free      int32       // head of the free list of arena slots
 	stopped   bool
 	processed uint64
+
+	// The deferred slot: a one-element fast lane beside the heap for the
+	// single next event of a batched source (DeferReserved). The dispatch
+	// loop merges it with the heap by (time, seq), so it participates in
+	// the same total order at O(1) cost instead of a heap push+pop.
+	slotT    float64
+	slotSeq  uint64
+	slotFire FireID
+	slotSet  bool
 }
 
 // New creates an empty simulator with the clock at zero.
 func New() *Sim {
 	return &Sim{free: noEvent}
+}
+
+// Reset rewinds the simulator to its initial state — clock at zero, no
+// pending events, sequence and processed counters cleared — while
+// retaining the arena and heap capacity grown by previous runs. All
+// outstanding Event handles are invalidated (their generation counters
+// advance), so Cancel on a pre-Reset handle is a safe no-op. A warmed-up
+// Sim therefore runs subsequent replications without allocating.
+func (s *Sim) Reset() {
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		n.fn, n.afn, n.arg = nil, nil, nil
+		n.gen++
+		n.pos = noEvent
+		n.next = int32(i) - 1
+	}
+	s.free = int32(len(s.nodes)) - 1
+	// Heap entries are pointer-free, so truncating cannot pin anything;
+	// the fire registry does hold callbacks and args and must be cleared.
+	s.heap = s.heap[:0]
+	clear(s.fires)
+	s.fires = s.fires[:0]
+	s.now = 0
+	s.seq = 0
+	s.processed = 0
+	s.stopped = false
+	s.slotSet = false
 }
 
 // Now returns the current virtual time in seconds.
@@ -116,7 +183,13 @@ func (s *Sim) Now() float64 { return s.now }
 func (s *Sim) Processed() uint64 { return s.processed }
 
 // Pending returns how many events are currently scheduled.
-func (s *Sim) Pending() int { return len(s.heap) }
+func (s *Sim) Pending() int {
+	n := len(s.heap)
+	if s.slotSet {
+		n++
+	}
+	return n
+}
 
 // Schedule runs fn after delay seconds of virtual time. It panics on a
 // negative, NaN, or infinite delay — scheduling into the past would
@@ -151,9 +224,141 @@ func (s *Sim) AtFunc(t float64, fn func(any), arg any) Event {
 	return s.insert(t, nil, fn, arg)
 }
 
+// RegisterFire interns a (callback, arg) pair for use with ScheduleFire
+// and DeferReserved, returning its handle. A long-lived event source
+// (an application instance, an arrival walker) registers once and then
+// schedules through the handle at zero marginal cost; keeping the pair
+// out of the heap entries keeps those entries pointer-free. Handles are
+// invalidated by Reset and must be re-registered each run.
+func (s *Sim) RegisterFire(fn func(any), arg any) FireID {
+	s.fires = append(s.fires, fireRef{fn: fn, arg: arg})
+	return FireID(len(s.fires) - 1)
+}
+
+// ScheduleFire schedules the registered callback f after delay seconds
+// with no cancel handle: the event lives entirely in its heap entry,
+// skipping the arena round-trip (slot acquire/release, pos maintenance,
+// node dereference at fire time). It is the cheapest way to schedule and
+// the right choice for high-rate fire-and-forget events — request
+// completions schedule one per served request.
+func (s *Sim) ScheduleFire(delay float64, f FireID) {
+	if !(delay >= 0) || math.IsInf(delay, 1) {
+		panic(fmt.Sprintf("sim: ScheduleFire with invalid delay %v at t=%v", delay, s.now))
+	}
+	e := heapEntry{time: s.now + delay, seq: s.seq, id: noEvent, fire: f}
+	s.seq++
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap)-1, e)
+}
+
+// ReserveSeq consumes and returns the next insertion sequence number
+// without scheduling anything. It exists for batched event sources that
+// may either schedule the reserved event normally (AtFuncReserved) or
+// consume it inline (InlineFire); either way the sequence numbering — and
+// therefore the tie-break order of every later event — is identical to
+// having scheduled it eagerly.
+func (s *Sim) ReserveSeq() uint64 {
+	sq := s.seq
+	s.seq++
+	return sq
+}
+
+// AtFuncReserved schedules fn at absolute time t under a sequence number
+// previously obtained from ReserveSeq. Events scheduled after the
+// reservation but before this call tie-break after the reserved event at
+// equal timestamps, exactly as if it had been inserted at reservation
+// time.
+func (s *Sim) AtFuncReserved(t float64, seq uint64, fn func(any), arg any) Event {
+	return s.insertSeq(t, seq, nil, fn, arg)
+}
+
+// DeferReserved schedules the registered callback f at absolute time t
+// under a reserved sequence number on the deferred slot — a one-element
+// fast lane beside the heap. The slot event fires in exactly the
+// position its (t, seq) key dictates, but costs O(1) instead of a heap
+// push+pop. It exists for batched sources whose next event is
+// rescheduled once per arrival (the walkers). Slot events cannot be
+// canceled; when the slot is already occupied the event falls back to
+// the heap, so any number of concurrent sources stay correct — only the
+// first gets the fast lane.
+func (s *Sim) DeferReserved(t float64, seq uint64, f FireID) {
+	if !(t >= s.now) || math.IsInf(t, 1) {
+		panic(fmt.Sprintf("sim: DeferReserved with time %v before now %v or non-finite", t, s.now))
+	}
+	if s.slotSet {
+		e := heapEntry{time: t, seq: seq, id: noEvent, fire: f}
+		s.heap = append(s.heap, e)
+		s.siftUp(len(s.heap)-1, e)
+		return
+	}
+	s.slotT = t
+	s.slotSeq = seq
+	s.slotFire = f
+	s.slotSet = true
+}
+
+// nextKey returns the ordering key of the earliest pending event across
+// the heap and the deferred slot, and whether it is the slot.
+func (s *Sim) nextKey() (t float64, seq uint64, slot, ok bool) {
+	if s.slotSet {
+		if len(s.heap) == 0 || s.slotT < s.heap[0].time ||
+			(s.slotT == s.heap[0].time && s.slotSeq < s.heap[0].seq) {
+			return s.slotT, s.slotSeq, true, true
+		}
+	}
+	if len(s.heap) == 0 {
+		return 0, 0, false, false
+	}
+	e := &s.heap[0]
+	return e.time, e.seq, false, true
+}
+
+// fireSlot consumes the deferred slot event. The slot is cleared before
+// the callback runs so the callback can re-arm it.
+func (s *Sim) fireSlot() {
+	r := &s.fires[s.slotFire]
+	s.now = s.slotT
+	s.slotSet = false
+	s.processed++
+	r.fn(r.arg)
+}
+
+// PeekNext returns the ordering key of the earliest pending event. ok is
+// false when the pending set is empty.
+func (s *Sim) PeekNext() (t float64, seq uint64, ok bool) {
+	t, seq, _, ok = s.nextKey()
+	return t, seq, ok
+}
+
+// InlineFire advances the clock to t and counts one processed event
+// without touching the pending set — the caller runs the event's effect
+// itself. It is only legal when the event (t, seq) would be the next one
+// popped: t must not precede the clock and no pending event may order
+// before (t, seq). Violations panic, since they would silently reorder
+// the simulation.
+func (s *Sim) InlineFire(t float64, seq uint64) {
+	if !(t >= s.now) {
+		panic(fmt.Sprintf("sim: InlineFire with time %v before now %v", t, s.now))
+	}
+	if pt, ps, _, ok := s.nextKey(); ok && (pt < t || (pt == t && ps < seq)) {
+		panic(fmt.Sprintf("sim: InlineFire(%v, %d) behind pending event (%v, %d)", t, seq, pt, ps))
+	}
+	s.now = t
+	s.processed++
+}
+
 // insert allocates an arena slot (reusing the free list when possible)
-// and pushes it onto the pending heap. Exactly one of fn/afn is non-nil.
+// and pushes it onto the pending heap under a fresh sequence number.
+// Exactly one of fn/afn is non-nil.
 func (s *Sim) insert(t float64, fn func(), afn func(any), arg any) Event {
+	sq := s.seq
+	s.seq++
+	return s.insertSeq(t, sq, fn, afn, arg)
+}
+
+// insertSeq is insert with an explicit sequence number (fresh or
+// reserved).
+func (s *Sim) insertSeq(t float64, seq uint64, fn func(), afn func(any), arg any) Event {
 	// !(t >= now) rejects NaN and past times; IsInf rejects +Inf (-Inf is
 	// already below now). Non-finite timestamps would sit in the heap
 	// forever, silently leaking the slot.
@@ -169,14 +374,12 @@ func (s *Sim) insert(t float64, fn func(), afn func(any), arg any) Event {
 	}
 	n := &s.nodes[id]
 	n.time = t
-	n.seq = s.seq
 	n.fn = fn
 	n.afn = afn
 	n.arg = arg
-	n.pos = int32(len(s.heap))
-	s.seq++
-	s.heap = append(s.heap, id)
-	s.up(int(n.pos))
+	e := heapEntry{time: t, seq: seq, id: id}
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap)-1, e) // writes n.pos at the final position
 	return Event{s: s, id: id, gen: n.gen}
 }
 
@@ -208,8 +411,7 @@ func (s *Sim) Cancel(e Event) bool {
 	}
 	i := int(n.pos)
 	last := len(s.heap) - 1
-	s.heap[i] = s.heap[last]
-	s.nodes[s.heap[i]].pos = int32(i)
+	s.place(i, &s.heap[last])
 	s.heap = s.heap[:last]
 	if i < last {
 		s.down(i)
@@ -232,11 +434,16 @@ func (s *Sim) Run() float64 { return s.RunUntil(math.Inf(1)) }
 // scheduled beyond t remain pending, so the simulation can be resumed.
 func (s *Sim) RunUntil(t float64) float64 {
 	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
-		if s.nodes[s.heap[0]].time > t {
+	for !s.stopped {
+		nt, _, slot, ok := s.nextKey()
+		if !ok || nt > t {
 			break
 		}
-		s.fire()
+		if slot {
+			s.fireSlot()
+		} else {
+			s.fire()
+		}
 	}
 	if !s.stopped && !math.IsInf(t, 1) && t > s.now {
 		s.now = t
@@ -247,10 +454,15 @@ func (s *Sim) RunUntil(t float64) float64 {
 // Step executes exactly one event if any is pending and reports whether it
 // did. Useful in tests.
 func (s *Sim) Step() bool {
-	if len(s.heap) == 0 {
+	_, _, slot, ok := s.nextKey()
+	if !ok {
 		return false
 	}
-	s.fire()
+	if slot {
+		s.fireSlot()
+	} else {
+		s.fire()
+	}
 	return true
 }
 
@@ -259,19 +471,25 @@ func (s *Sim) Step() bool {
 // first: the callback may grow the arena or reschedule into the freed
 // slot.
 func (s *Sim) fire() {
-	id := s.heap[0]
-	n := &s.nodes[id]
-	fn, afn, arg := n.fn, n.afn, n.arg
-	s.now = n.time
+	top := s.heap[0]
+	s.now = top.time
 	last := len(s.heap) - 1
-	s.heap[0] = s.heap[last]
-	s.nodes[s.heap[0]].pos = 0
-	s.heap = s.heap[:last]
 	if last > 0 {
-		s.down(0)
+		e := s.heap[last]
+		s.heap = s.heap[:last]
+		s.siftDown(0, e)
+	} else {
+		s.heap = s.heap[:0]
 	}
-	s.release(id)
 	s.processed++
+	if top.id == noEvent {
+		r := &s.fires[top.fire]
+		r.fn(r.arg)
+		return
+	}
+	n := &s.nodes[top.id]
+	fn, afn, arg := n.fn, n.afn, n.arg
+	s.release(top.id)
 	if afn != nil {
 		afn(arg)
 	} else {
@@ -319,59 +537,80 @@ func (tk *Ticker) Stop() {
 	tk.sim.Cancel(tk.ev)
 }
 
-// Heap maintenance: a 4-ary min-heap of arena indices ordered by
+// Heap maintenance: a 4-ary min-heap of key-embedded entries ordered by
 // (time, seq). Branching factor 4 keeps the comparator identical to the
 // classic binary heap — the fire order is a property of the total order,
 // not the tree shape — while touching ~half the levels per operation.
+// Sifts move a hole instead of swapping: each level shifts one entry and
+// updates one arena pos, and the moving entry is written exactly once at
+// its final position — roughly a third of the memory traffic of
+// swap-based sifting.
 
 const heapArity = 4
 
-func (s *Sim) less(i, j int) bool {
-	a, b := &s.nodes[s.heap[i]], &s.nodes[s.heap[j]]
+func entryLess(a, b *heapEntry) bool {
 	if a.time != b.time {
 		return a.time < b.time
 	}
 	return a.seq < b.seq
 }
 
-func (s *Sim) swap(i, j int) {
-	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
-	s.nodes[s.heap[i]].pos = int32(i)
-	s.nodes[s.heap[j]].pos = int32(j)
-}
+// up re-sifts the entry currently at index i (cold paths: Cancel).
+func (s *Sim) up(i int) { s.siftUp(i, s.heap[i]) }
 
-func (s *Sim) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / heapArity
-		if !s.less(i, parent) {
-			break
-		}
-		s.swap(i, parent)
-		i = parent
+// down re-sifts the entry currently at index i (cold paths: Cancel).
+func (s *Sim) down(i int) { s.siftDown(i, s.heap[i]) }
+
+// place writes entry e at heap index i, maintaining the arena position
+// for cancelable (arena-backed) entries. Inline entries carry no arena
+// node, so they skip the random write.
+func (s *Sim) place(i int, e *heapEntry) {
+	s.heap[i] = *e
+	if e.id != noEvent {
+		s.nodes[e.id].pos = int32(i)
 	}
 }
 
-func (s *Sim) down(i int) {
+// siftUp places entry e, conceptually at hole index i, at its heap
+// position, shifting larger parents down through the hole.
+func (s *Sim) siftUp(i int, e heapEntry) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		p := &s.heap[parent]
+		if !entryLess(&e, p) {
+			break
+		}
+		s.place(i, p)
+		i = parent
+	}
+	s.place(i, &e)
+}
+
+// siftDown places entry e, conceptually at hole index i, at its heap
+// position, shifting smaller children up through the hole.
+func (s *Sim) siftDown(i int, e heapEntry) {
 	n := len(s.heap)
 	for {
 		first := heapArity*i + 1
 		if first >= n {
-			return
+			break
 		}
-		smallest := i
 		end := first + heapArity
 		if end > n {
 			end = n
 		}
-		for c := first; c < end; c++ {
-			if s.less(c, smallest) {
+		smallest := first
+		for c := first + 1; c < end; c++ {
+			if entryLess(&s.heap[c], &s.heap[smallest]) {
 				smallest = c
 			}
 		}
-		if smallest == i {
-			return
+		sm := &s.heap[smallest]
+		if !entryLess(sm, &e) {
+			break
 		}
-		s.swap(i, smallest)
+		s.place(i, sm)
 		i = smallest
 	}
+	s.place(i, &e)
 }

@@ -171,6 +171,19 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n), widthIn: float64(n) / (hi - lo)}
 }
 
+// Reset clears all counts and re-ranges the histogram over [lo, hi),
+// keeping the bucket array so a pooled collector reuses it without
+// allocating.
+func (h *Histogram) Reset(lo, hi float64) {
+	if hi <= lo {
+		panic("stats: Histogram.Reset requires hi > lo")
+	}
+	h.Lo, h.Hi = lo, hi
+	clear(h.Counts)
+	h.Under, h.Over, h.total = 0, 0, 0
+	h.widthIn = float64(len(h.Counts)) / (hi - lo)
+}
+
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
 	h.total++

@@ -19,6 +19,13 @@ func NewWindow(n int) *Window {
 	return &Window{buf: make([]float64, n)}
 }
 
+// Reset empties the window, keeping its buffer.
+func (w *Window) Reset() {
+	w.next = 0
+	w.full = false
+	w.sum = 0
+}
+
 // Add pushes one observation, evicting the oldest when full.
 func (w *Window) Add(x float64) {
 	if w.full {

@@ -137,6 +137,24 @@ func (r *Ring) Filter(kind Kind) []Event {
 	return out
 }
 
+// Locked wraps a recorder with a mutex, making it safe to share across
+// replication workers. The sweep engine applies it automatically when a
+// tracer is used with more than one worker; wrapping a Writer (already
+// internally locked) is harmless.
+func Locked(r Recorder) Recorder { return &locked{r: r} }
+
+type locked struct {
+	mu sync.Mutex
+	r  Recorder
+}
+
+// Record forwards the event under the lock.
+func (l *locked) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.r.Record(e)
+}
+
 // Multi fans events out to several recorders.
 type Multi []Recorder
 

@@ -69,7 +69,7 @@ func (ts *TraceSource) Start(s *sim.Sim, _ *stats.RNG, emit func(Request)) {
 	if len(ts.Requests) == 0 {
 		return
 	}
-	wk := &batchWalker{s: s, emit: emit}
+	wk := newBatchWalker(s, emit)
 	wk.start(append([]Request(nil), ts.Requests...))
 }
 

@@ -2,7 +2,7 @@ package workload
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"vmprov/internal/sim"
 	"vmprov/internal/stats"
@@ -102,7 +102,7 @@ func (w *Web) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 		S:      stats.Uniform{Min: 1, Max: 1 + w.Jitter},
 		Factor: w.BaseService,
 	}
-	wk := &batchWalker{s: s, emit: emit}
+	wk := newBatchWalker(s, emit)
 	s.Every(0, w.Interval, func(now float64) {
 		mean := w.MeanRate(now)
 		rate := stats.TruncatedNormal{Mu: mean, Sigma: w.NoiseSigma * mean}.Sample(arr)
@@ -114,62 +114,223 @@ func (w *Web) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 			// A prior batch is still draining — possible only when a
 			// sampled arrival rounded up to exactly the tick boundary.
 			// Leave the old walker to finish and start a fresh one.
-			wk = &batchWalker{s: s, emit: emit}
+			wk = newBatchWalker(s, emit)
 		}
 		batch := wk.batch[:0]
+		// Fused counting: bucket occupancy is tallied while sampling, so
+		// startUniform skips its counting pass over the batch.
+		counts, scale := wk.precount(n, w.Interval)
 		for i := 0; i < n; i++ {
 			at := now + arr.Float64()*w.Interval
+			if counts != nil {
+				b := int((at - now) * scale)
+				if b >= n {
+					b = n - 1
+				} else if b < 0 {
+					b = 0
+				}
+				counts[b]++
+			}
 			batch = append(batch, Request{
 				ID:      w.ids.next(),
 				Arrival: at,
 				Service: service.Sample(svc),
 			})
 		}
-		wk.start(batch)
+		wk.startUniform(batch, now, w.Interval)
 	})
 }
 
 // batchWalker drains a pre-sampled batch of requests through one pooled
-// kernel event. The batch slice is reused across ticks, so steady-state
-// generation allocates nothing.
+// kernel event. The batch, scratch, and bucket-count slices are reused
+// across ticks, so steady-state generation allocates nothing.
 type batchWalker struct {
-	s     *sim.Sim
-	emit  func(Request)
-	batch []Request
-	idx   int
+	s          *sim.Sim
+	fire       sim.FireID // interned walkBatch callback for this walker
+	emit       func(Request)
+	batch      []Request
+	idx        int
+	scratch    []Request // bucket-sort output buffer, swapped with batch
+	counts     []int32   // bucket occupancy / offset buffer
+	precounted bool      // counts already hold the next batch's occupancy
+}
+
+// newBatchWalker creates a walker with its deferred-slot callback
+// registered on the simulator.
+func newBatchWalker(s *sim.Sim, emit func(Request)) *batchWalker {
+	wk := &batchWalker{s: s, emit: emit}
+	wk.fire = s.RegisterFire(walkBatch, wk)
+	return wk
+}
+
+// precount returns the zeroed bucket-occupancy buffer and bucket scale
+// for an n-element uniform batch, letting the generator tally occupancy
+// while it samples instead of startUniform re-reading the whole batch.
+// Returns nil when the batch will take the comparison-sort path.
+func (wk *batchWalker) precount(n int, width float64) ([]int32, float64) {
+	if n < 32 || !(width > 0) {
+		return nil, 0
+	}
+	if cap(wk.counts) < n {
+		wk.counts = make([]int32, n)
+	}
+	counts := wk.counts[:n]
+	clear(counts)
+	wk.precounted = true
+	return counts, float64(n) / width
 }
 
 // active reports whether a previous batch is still being drained.
 func (wk *batchWalker) active() bool { return wk.idx < len(wk.batch) }
 
-// start sorts the batch into firing order and schedules the first
-// emission. Ties on the arrival time preserve generation order (IDs
-// ascend in generation order), matching the (timestamp, insertion
-// sequence) order the per-event scheduling produced.
+// requestCmp is the firing order: (arrival time, ID). IDs ascend in
+// generation order and are unique, so this is a total order and every
+// sort algorithm produces the same permutation — the (timestamp,
+// insertion sequence) order the per-event scheduling produced.
+func requestCmp(a, b Request) int {
+	switch {
+	case a.Arrival < b.Arrival:
+		return -1
+	case a.Arrival > b.Arrival:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// start sorts a batch with no distributional assumptions (trace replay)
+// and schedules the first emission.
 func (wk *batchWalker) start(batch []Request) {
-	sort.Slice(batch, func(i, j int) bool {
-		if batch[i].Arrival != batch[j].Arrival {
-			return batch[i].Arrival < batch[j].Arrival
+	slices.SortFunc(batch, requestCmp)
+	wk.launch(batch)
+}
+
+// startUniform sorts a batch whose arrivals are uniformly distributed
+// over [lo, lo+width) — the web generator's shape — with a stable
+// counting-sort scatter into one bucket per element followed by an
+// insertion-sort repair pass. Expected bucket occupancy is 1, so the
+// repair touches almost nothing and the whole sort is O(n) instead of
+// O(n log n) comparison calls; this is the generator's dominant cost at
+// scale. The scatter is stable and the repair breaks arrival ties by ID,
+// so the permutation is identical to the comparison sort's.
+func (wk *batchWalker) startUniform(batch []Request, lo, width float64) {
+	n := len(batch)
+	if n < 32 || !(width > 0) {
+		wk.start(batch)
+		return
+	}
+	nb := n
+	if cap(wk.counts) < nb {
+		wk.counts = make([]int32, nb)
+	}
+	counts := wk.counts[:nb]
+	if cap(wk.scratch) < n {
+		wk.scratch = make([]Request, n)
+	}
+	scratch := wk.scratch[:n]
+
+	// Bucket index is monotone non-decreasing in the arrival time, so
+	// inter-bucket order is correct by construction; intra-bucket order
+	// starts as generation order (ascending ID) thanks to the stable
+	// scatter.
+	scale := float64(nb) / width
+	if wk.precounted {
+		// The generator already tallied occupancy while sampling.
+		wk.precounted = false
+	} else {
+		clear(counts)
+		for i := range batch {
+			b := int((batch[i].Arrival - lo) * scale)
+			if b >= nb {
+				b = nb - 1
+			} else if b < 0 {
+				b = 0
+			}
+			counts[b]++
 		}
-		return batch[i].ID < batch[j].ID
-	})
+	}
+	// Occupancy → start offsets.
+	var sum int32
+	for b := range counts {
+		c := counts[b]
+		counts[b] = sum
+		sum += c
+	}
+	for i := range batch {
+		b := int((batch[i].Arrival - lo) * scale)
+		if b >= nb {
+			b = nb - 1
+		} else if b < 0 {
+			b = 0
+		}
+		scratch[counts[b]] = batch[i]
+		counts[b]++
+	}
+	// Repair pass: inter-bucket order is correct by construction (equal
+	// arrivals always share a bucket), so only buckets holding ≥2
+	// elements can contain inversions. After the scatter counts[b] is the
+	// end offset of bucket b, so the bucket ranges are recovered from the
+	// counts scan alone — the single-occupancy majority of the batch is
+	// never re-read. The total key (Arrival, ID) makes the sorted
+	// permutation unique, so this yields exactly the comparison sort's
+	// order.
+	start := int32(0)
+	for b := range counts {
+		end := counts[b]
+		for i := start + 1; i < end; i++ {
+			q := scratch[i]
+			j := i - 1
+			for j >= start && requestCmp(scratch[j], q) > 0 {
+				scratch[j+1] = scratch[j]
+				j--
+			}
+			scratch[j+1] = q
+		}
+		start = end
+	}
+	wk.scratch = batch // fully drained (or abandoned) — reuse next tick
+	wk.launch(scratch)
+}
+
+// launch points the walker at a sorted batch and schedules the first
+// emission.
+func (wk *batchWalker) launch(batch []Request) {
 	wk.batch = batch
 	wk.idx = 0
 	wk.s.AtFunc(batch[0].Arrival, walkBatch, wk)
 }
 
-// walkBatch emits the current request and reschedules itself for the
-// next. The successor is scheduled before emitting so its insertion
-// sequence precedes anything the emission itself schedules (completions,
-// scaling), mirroring the original all-upfront scheduling order.
+// walkBatch emits requests in firing order. The successor's sequence
+// number is reserved before emitting so it precedes anything the emission
+// itself schedules (completions, scaling), mirroring the original
+// all-upfront scheduling order. When the successor would be the very next
+// event popped anyway — no pending event orders before (arrival,
+// reserved seq) — the walker consumes it inline (clock advance + event
+// count, no heap traffic) and keeps draining; otherwise it parks in the
+// pending set under the reserved sequence number. Both paths are
+// bit-identical to scheduling every step.
 func walkBatch(a any) {
 	wk := a.(*batchWalker)
-	req := wk.batch[wk.idx]
-	wk.idx++
-	if wk.idx < len(wk.batch) {
-		wk.s.AtFunc(wk.batch[wk.idx].Arrival, walkBatch, wk)
+	s := wk.s
+	for {
+		req := wk.batch[wk.idx]
+		wk.idx++
+		if wk.idx >= len(wk.batch) {
+			wk.emit(req)
+			return
+		}
+		next := wk.batch[wk.idx].Arrival
+		seq := s.ReserveSeq()
+		wk.emit(req)
+		if pt, ps, ok := s.PeekNext(); ok && (pt < next || (pt == next && ps < seq)) {
+			s.DeferReserved(next, seq, wk.fire)
+			return
+		}
+		s.InlineFire(next, seq)
 	}
-	wk.emit(req)
 }
 
 // WebAnalyzer reproduces the paper's web workload analyzer: each day is

@@ -42,6 +42,15 @@ type (
 	Policy = experiment.Policy
 	// RunOptions tunes a single replication.
 	RunOptions = experiment.RunOptions
+	// Job is one cell of a sweep: a seeded replication of a policy over a
+	// scenario.
+	Job = experiment.Job
+	// SweepOptions tunes a panel sweep (worker pool size, per-run
+	// options, completion callback).
+	SweepOptions = experiment.SweepOptions
+	// RunContext is a reusable replication context (pooled simulator,
+	// data center, and collector).
+	RunContext = experiment.RunContext
 	// QoS holds the negotiated targets (response time, rejection,
 	// utilization floor).
 	QoS = provision.QoS
@@ -109,17 +118,29 @@ func RunOnce(sc Scenario, pol Policy, seed uint64, opts RunOptions) (Result, []S
 	return experiment.RunOnce(sc, pol, seed, opts)
 }
 
-// Run executes reps replications in parallel and returns the aggregate
-// (the paper averages 10 repetitions) along with the individual runs.
-func Run(sc Scenario, pol Policy, reps int, baseSeed uint64, workers int) (Result, []Result) {
-	return experiment.Run(sc, pol, reps, baseSeed, workers)
+// Run executes reps replications over the sweep engine's worker pool and
+// returns the aggregate (the paper averages 10 repetitions) along with
+// the individual runs. opts apply to every replication.
+func Run(sc Scenario, pol Policy, reps int, baseSeed uint64, workers int, opts RunOptions) (Result, []Result) {
+	return experiment.Run(sc, pol, reps, baseSeed, workers, opts)
 }
 
 // RunAll evaluates the adaptive policy and every static baseline of the
-// scenario — one full Figure 5/6 panel set.
-func RunAll(sc Scenario, reps int, baseSeed uint64, workers int) []Result {
-	return experiment.RunAll(sc, reps, baseSeed, workers)
+// scenario — one full Figure 5/6 panel set — as one flat job queue over
+// the sweep engine's worker pool.
+func RunAll(sc Scenario, reps int, baseSeed uint64, workers int, opts RunOptions) []Result {
+	return experiment.RunAll(sc, reps, baseSeed, workers, opts)
 }
+
+// Sweep runs an arbitrary list of panel jobs over a persistent worker
+// pool with pooled replication contexts, returning per-job results in
+// job order. Results are independent of the worker count.
+func Sweep(jobs []Job, opts SweepOptions) []Result { return experiment.Sweep(jobs, opts) }
+
+// NewRunContext returns an empty pooled replication context; successive
+// Run calls on it rewind and reuse its simulator, data center, and
+// collector instead of reallocating them.
+func NewRunContext() *RunContext { return experiment.NewRunContext() }
 
 // FigureTable renders results as the text analogue of the paper's
 // Figure 5/6 panels.
