@@ -9,10 +9,19 @@ FUZZTIME  ?= 10s
 BENCHOUT  ?= BENCH_kernel.json
 SWEEPOUT  ?= BENCH_sweep.json
 SWEEPTMP  ?= /tmp/BENCH_sweep_fresh.json
+SPECTMP   ?= /tmp/vmprov_spec_smoke.json
 
-.PHONY: ci vet build test race sweep-race fuzz bench-smoke sweep-smoke bench bench-sweep bench-compare golden
+.PHONY: ci fmt vet build test race sweep-race fuzz bench-smoke sweep-smoke spec-roundtrip bench bench-sweep bench-compare golden
 
-ci: vet build race sweep-race fuzz bench-smoke sweep-smoke
+ci: fmt vet build race sweep-race fuzz bench-smoke sweep-smoke spec-roundtrip
+
+# gofmt cleanliness gate: fail (and list the files) if any tracked Go
+# source is not gofmt-formatted.
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -43,8 +52,19 @@ bench-smoke:
 
 # Exercise the sweep benchmark end to end at a tiny panel size; the
 # report goes to a scratch path so the committed record is untouched.
+# Also runs the declarative-spec test suite (spec/panel/policy-registry
+# compilation and the spec-vs-RunAll equivalence property).
 sweep-smoke:
 	$(GO) run ./cmd/vmprovsim -benchsweep $(SWEEPTMP) -sweephorizon 1800 -sweepreps 1 -sweeptries 1
+	$(GO) test -count=1 ./internal/experiment -run 'TestSpec|TestPanel|TestPaperPanel|TestResolve|TestGoldenSpec|TestScenarioSpec'
+
+# Spec round-trip gate: the committed golden panel files must equal a
+# fresh -dumpspec, reload, and compile (TestGoldenSpecFiles), and a
+# dumped panel must run end to end through -spec.
+spec-roundtrip:
+	$(GO) test -count=1 ./internal/experiment -run 'TestGoldenSpecFiles|TestPaperPanelRoundTrip'
+	$(GO) run ./cmd/vmprovsim -dumpspec scientific -scale 0.2 -reps 1 > $(SPECTMP)
+	$(GO) run ./cmd/vmprovsim -spec $(SPECTMP) > /dev/null
 
 # Full benchmark sweep with allocation stats (slow; not part of ci).
 bench:

@@ -6,14 +6,19 @@
 //	vmprovsim -scenario web -scale 0.1 -reps 3 -all
 //	vmprovsim -scenario scientific -reps 10 -all -csv
 //	vmprovsim -scenario scientific -policy adaptive -series
-//	vmprovsim -scenario web -scale 0.1 -policy static -vms 10
+//	vmprovsim -scenario web -scale 0.1 -policy static:10
+//	vmprovsim -dumpspec scientific -reps 3 > panel.json
+//	vmprovsim -spec panel.json
 //	vmprovsim -benchkernel BENCH_kernel.json -benchscales 0.1,1
 //	vmprovsim -scenario web -scale 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -all evaluates the adaptive policy against every static baseline of the
-// scenario (the full figure); otherwise a single policy runs.
-// -cpuprofile/-memprofile wrap any mode with pprof capture; -benchkernel
-// measures raw kernel throughput and writes a JSON perf record.
+// scenario (the full figure); otherwise a single policy runs. Scenarios
+// and policies resolve through registries; -spec runs a declarative JSON
+// panel file end to end and -dumpspec emits the built-in paper panels as
+// such files. -cpuprofile/-memprofile wrap any mode with pprof capture;
+// -benchkernel measures raw kernel throughput and writes a JSON perf
+// record.
 package main
 
 import (
@@ -29,15 +34,17 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "scientific", "web or scientific")
+		scenario = flag.String("scenario", "scientific", "registered scenario name (web, scientific, ...)")
 		scale    = flag.Float64("scale", 0, "load scale; 0 picks the scenario default (web 0.1, scientific 1)")
 		reps     = flag.Int("reps", 3, "replications per policy (paper: 10)")
 		seed     = flag.Uint64("seed", 1, "base random seed")
 		workers  = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
 		all      = flag.Bool("all", false, "run adaptive + every static baseline (full figure)")
 		reportMD = flag.String("report", "", "with -all: also write a Markdown report to this file")
-		policy   = flag.String("policy", "adaptive", "adaptive or static (single-policy mode)")
+		policy   = flag.String("policy", "adaptive", "registered policy name (adaptive, static:<m>, ...; single-policy mode)")
 		vms      = flag.Int("vms", 0, "fleet size for -policy static")
+		specFile = flag.String("spec", "", "run a declarative JSON panel spec file (\"-\" = stdin)")
+		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, or all")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
 		series   = flag.Bool("series", false, "emit the instance-count time series (single-policy mode)")
 		traceOut = flag.String("trace", "", "write a JSONL event trace of one replication to this file (single-policy mode)")
@@ -49,12 +56,12 @@ func main() {
 		benchScales = flag.String("benchscales", "0.1,1", "comma-separated web load scales for -benchkernel")
 		benchHoriz  = flag.Float64("benchhorizon", 3600, "simulated seconds per -benchkernel run")
 
-		benchSweep  = flag.String("benchsweep", "", "run the sweep-engine panel benchmark and write its JSON report to this file")
-		sweepBase   = flag.String("sweepbaseline", "", "prior -benchsweep report to embed as the speedup baseline (default: in-process legacy run)")
-		sweepScale  = flag.Float64("sweepscale", 0.1, "web load scale for -benchsweep")
-		sweepHoriz  = flag.Float64("sweephorizon", 21600, "simulated seconds per -benchsweep replication")
-		sweepReps   = flag.Int("sweepreps", 10, "replications per policy for -benchsweep")
-		sweepTries  = flag.Int("sweeptries", 3, "measurement repetitions per -benchsweep configuration (fastest wins)")
+		benchSweep = flag.String("benchsweep", "", "run the sweep-engine panel benchmark and write its JSON report to this file")
+		sweepBase  = flag.String("sweepbaseline", "", "prior -benchsweep report to embed as the speedup baseline (default: in-process legacy run)")
+		sweepScale = flag.Float64("sweepscale", 0.1, "web load scale for -benchsweep")
+		sweepHoriz = flag.Float64("sweephorizon", 21600, "simulated seconds per -benchsweep replication")
+		sweepReps  = flag.Int("sweepreps", 10, "replications per policy for -benchsweep")
+		sweepTries = flag.Int("sweeptries", 3, "measurement repetitions per -benchsweep configuration (fastest wins)")
 	)
 	flag.Parse()
 
@@ -110,20 +117,30 @@ func main() {
 		return
 	}
 
-	var sc vmprov.Scenario
-	switch *scenario {
-	case "web":
-		if *scale == 0 {
-			*scale = 0.1
+	if *dump != "" {
+		if err := dumpSpec(os.Stdout, *dump, *scale, *reps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(2)
 		}
-		sc = vmprov.Web(*scale)
-	case "scientific", "sci":
-		if *scale == 0 {
-			*scale = 1
+		return
+	}
+
+	if *specFile != "" {
+		if err := runSpecFile(*specFile, *workers, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
 		}
-		sc = vmprov.Sci(*scale)
-	default:
-		fmt.Fprintf(os.Stderr, "vmprovsim: unknown scenario %q\n", *scenario)
+		return
+	}
+
+	spec, err := vmprov.BuildScenarioSpec(*scenario, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+		os.Exit(2)
+	}
+	sc, err := spec.Compile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmprovsim:", err)
 		os.Exit(2)
 	}
 	if *horizon > 0 {
@@ -149,24 +166,22 @@ func main() {
 			fmt.Print(vmprov.ResultsCSV(results))
 			return
 		}
-		caption := fmt.Sprintf("%s scenario, scale %g, %d replication(s) averaged (paper Figure %s)",
-			sc.Name, sc.Scale, *reps, map[string]string{"web": "5", "scientific": "6"}[sc.Name])
-		fmt.Print(vmprov.FigureTable(caption, results))
+		fmt.Print(vmprov.FigureTable(vmprov.FigureCaption("", sc, *reps), results))
 		return
 	}
 
-	var pol vmprov.Policy
-	switch *policy {
-	case "adaptive":
-		pol = vmprov.Adaptive()
-	case "static":
+	polName := *policy
+	if polName == "static" {
+		// Legacy form: "-policy static -vms N" is sugar for "static:N".
 		if *vms <= 0 {
-			fmt.Fprintln(os.Stderr, "vmprovsim: -policy static needs -vms N")
+			fmt.Fprintln(os.Stderr, "vmprovsim: -policy static needs -vms N (or use -policy static:N)")
 			os.Exit(2)
 		}
-		pol = vmprov.Static(*vms)
-	default:
-		fmt.Fprintf(os.Stderr, "vmprovsim: unknown policy %q\n", *policy)
+		polName = fmt.Sprintf("static:%d", *vms)
+	}
+	pol, err := vmprov.ResolvePolicy(polName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmprovsim:", err)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vmprov"
+)
+
+// dumpSpec prints a built-in paper panel spec ("web", "scientific", or
+// "all" for one panel holding both scenarios) as indented JSON. scale 0
+// picks each scenario's default; reps and seed are embedded verbatim.
+func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) error {
+	var spec vmprov.PanelSpec
+	switch name {
+	case "all":
+		web, err := vmprov.PaperPanel("web", scale, reps, seed)
+		if err != nil {
+			return err
+		}
+		sci, err := vmprov.PaperPanel("scientific", scale, reps, seed)
+		if err != nil {
+			return err
+		}
+		spec = web
+		spec.Name = "paper-panel"
+		spec.Scenarios = append(spec.Scenarios, sci.Scenarios...)
+	default:
+		var err error
+		spec, err = vmprov.PaperPanel(name, scale, reps, seed)
+		if err != nil {
+			return fmt.Errorf("%w (or \"all\")", err)
+		}
+	}
+	data, err := spec.MarshalJSONIndent()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// runSpecFile loads a JSON panel spec (path "-" reads stdin), compiles
+// it, runs it over the sweep engine, and prints one table (or CSV block)
+// per scenario. workers > 0 overrides the spec's worker count.
+func runSpecFile(path string, workers int, csv bool) error {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	spec, err := vmprov.ParsePanelSpec(data)
+	if err != nil {
+		return err
+	}
+	panel, err := spec.Compile()
+	if err != nil {
+		return err
+	}
+	results := panel.Run(vmprov.SweepOptions{Workers: workers})
+	reps := spec.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for i, pr := range results {
+		if csv {
+			fmt.Print(vmprov.ResultsCSV(pr.Results))
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		caption := vmprov.FigureCaption(spec.Name, panel.Scenarios[i], reps)
+		fmt.Print(vmprov.FigureTable(caption, pr.Results))
+	}
+	return nil
+}

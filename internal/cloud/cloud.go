@@ -41,9 +41,9 @@ type HostSpec struct {
 // service capacity (1.0 = the paper's baseline instance; other values
 // support the heterogeneous-capacity extension).
 type VMSpec struct {
-	Cores    int
-	RAMMB    int
-	Capacity float64
+	Cores    int     `json:"cores"`
+	RAMMB    int     `json:"ram_mb"`
+	Capacity float64 `json:"capacity"`
 }
 
 // DefaultVMSpec returns the paper's application VM: one core, 2 GB,

@@ -1,0 +1,67 @@
+package cloud
+
+import (
+	"fmt"
+	"strings"
+)
+
+// placementNames maps each placement policy to its canonical spec name.
+var placementNames = map[Placement]string{
+	LeastLoaded: "least-loaded",
+	FirstFit:    "first-fit",
+	RoundRobin:  "round-robin",
+}
+
+// String returns the placement's canonical spec name.
+func (p Placement) String() string {
+	if n, ok := placementNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("placement(%d)", int(p))
+}
+
+// PlacementNames lists the resolvable placement policy names in
+// definition order.
+func PlacementNames() []string {
+	return []string{
+		placementNames[LeastLoaded],
+		placementNames[FirstFit],
+		placementNames[RoundRobin],
+	}
+}
+
+// ParsePlacement resolves a placement policy by name. The empty string
+// resolves to the paper's default (least-loaded); an unknown name lists
+// the valid ones.
+func ParsePlacement(name string) (Placement, error) {
+	switch name {
+	case "", placementNames[LeastLoaded]:
+		return LeastLoaded, nil
+	case placementNames[FirstFit]:
+		return FirstFit, nil
+	case placementNames[RoundRobin]:
+		return RoundRobin, nil
+	}
+	return LeastLoaded, fmt.Errorf("cloud: unknown placement %q (valid: %s)",
+		name, strings.Join(PlacementNames(), ", "))
+}
+
+// MarshalText encodes the placement as its name, so specs embedding a
+// Placement serialize to readable JSON.
+func (p Placement) MarshalText() ([]byte, error) {
+	n, ok := placementNames[p]
+	if !ok {
+		return nil, fmt.Errorf("cloud: cannot marshal unknown placement %d", int(p))
+	}
+	return []byte(n), nil
+}
+
+// UnmarshalText decodes a placement name.
+func (p *Placement) UnmarshalText(text []byte) error {
+	v, err := ParsePlacement(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}

@@ -1,0 +1,45 @@
+package cloud
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParsePlacement(t *testing.T) {
+	cases := map[string]Placement{
+		"":             LeastLoaded,
+		"least-loaded": LeastLoaded,
+		"first-fit":    FirstFit,
+		"round-robin":  RoundRobin,
+	}
+	for name, want := range cases {
+		got, err := ParsePlacement(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParsePlacement("best-fit"); err == nil || !strings.Contains(err.Error(), "least-loaded") {
+		t.Errorf("unknown placement error should list valid names, got %v", err)
+	}
+}
+
+func TestPlacementJSONRoundTrip(t *testing.T) {
+	for _, p := range []Placement{LeastLoaded, FirstFit, RoundRobin} {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + p.String() + `"`; string(data) != want {
+			t.Errorf("marshal %v = %s, want %s", p, data, want)
+		}
+		var back Placement
+		if err := json.Unmarshal(data, &back); err != nil || back != p {
+			t.Errorf("unmarshal %s = %v, %v", data, back, err)
+		}
+	}
+	var p Placement
+	if err := json.Unmarshal([]byte(`"nope"`), &p); err == nil {
+		t.Error("unknown placement name unmarshaled without error")
+	}
+}

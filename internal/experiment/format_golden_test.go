@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"testing"
+
+	"vmprov/internal/metrics"
+)
+
+// tinyPanelResults is a fixed two-row panel exercising every formatted
+// column deterministically (no simulation involved).
+func tinyPanelResults() []metrics.Result {
+	return []metrics.Result{
+		{
+			Policy: "Adaptive", Duration: 86400,
+			Accepted: 12345, Rejected: 55, Violations: 2,
+			RejectionRate: 0.004435, MeanResponse: 0.221349, StdResponse: 0.073158,
+			P50Response: 0.213401, P95Response: 0.342211, P99Response: 0.412345,
+			MinInstances: 4, MaxInstances: 17, VMHours: 212.52, Utilization: 0.78125,
+			EnergyKWh: 12.345678,
+		},
+		{
+			Policy: "Static-15", Duration: 86400,
+			Accepted: 11000, Rejected: 1400, Violations: 0,
+			RejectionRate: 0.112903, MeanResponse: 0.199102, StdResponse: 0.041777,
+			P50Response: 0.190001, P95Response: 0.280002, P99Response: 0.310003,
+			MinInstances: 15, MaxInstances: 15, VMHours: 360, Utilization: 0.403801,
+			EnergyKWh: 20.5,
+		},
+	}
+}
+
+func TestFigureTableGolden(t *testing.T) {
+	want := "tiny deterministic panel\n" +
+		"policy     min inst  max inst  rejection  utilization  VM hours  resp mean  resp sd  violations  served\n" +
+		"Adaptive   4         17        0.0044     0.7812       212.5     0.2213     0.0732   2           12345\n" +
+		"Static-15  15        15        0.1129     0.4038       360.0     0.1991     0.0418   0           11000\n"
+	if got := FigureTable("tiny deterministic panel", tinyPanelResults()); got != want {
+		t.Errorf("FigureTable changed:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestResultsCSVGolden(t *testing.T) {
+	want := "policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected\n" +
+		"Adaptive,4,17,0.004435,0.781250,212.520,12.346,0.221349,0.073158,0.213401,0.342211,0.412345,2,12345,55\n" +
+		"Static-15,15,15,0.112903,0.403801,360.000,20.500,0.199102,0.041777,0.190001,0.280002,0.310003,0,11000,1400\n"
+	if got := ResultsCSV(tinyPanelResults()); got != want {
+		t.Errorf("ResultsCSV changed:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestFormatGoldenEmpty(t *testing.T) {
+	table := FigureTable("empty", nil)
+	if table != "empty\npolicy  min inst  max inst  rejection  utilization  VM hours  resp mean  resp sd  violations  served\n" {
+		t.Errorf("empty FigureTable changed: %q", table)
+	}
+	csv := ResultsCSV(nil)
+	if csv != "policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected\n" {
+		t.Errorf("empty ResultsCSV changed: %q", csv)
+	}
+}

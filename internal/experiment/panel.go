@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"vmprov/internal/metrics"
+)
+
+// StaticWildcard is the panel policy token that expands to one static
+// policy per entry of each scenario's StaticFleets ladder — the paper's
+// baseline set.
+const StaticWildcard = "*"
+
+// staticWildcardName is the full "static:*" policy-list form.
+const staticWildcardName = "static:" + StaticWildcard
+
+// PanelSpec is a declarative experiment panel: scenarios × policies ×
+// replications at consecutive seeds. It is the serializable form of what
+// RunAll hardwires for the paper's Figures 5 and 6, and it compiles
+// straight into the sweep engine's flat job queue.
+type PanelSpec struct {
+	Name      string         `json:"name,omitempty"`
+	Scenarios []ScenarioSpec `json:"scenarios"`
+	// Policies are resolved through the policy registry ("adaptive",
+	// "static:75", "adaptive:window"); the special "static:*" expands to
+	// each scenario's StaticFleets ladder.
+	Policies []string `json:"policies"`
+	// Reps is the replication count per cell (seeds Seed..Seed+Reps-1);
+	// zero means 1. The paper averages 10.
+	Reps int    `json:"reps"`
+	Seed uint64 `json:"seed"`
+	// Workers sizes the sweep worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Panel is a compiled PanelSpec: every scenario compiled, every policy
+// resolved (with "static:*" expanded per scenario), and the whole grid
+// flattened into one job queue in presentation order — per scenario, the
+// policies in spec order, each with Reps consecutive seeds.
+type Panel struct {
+	Spec      PanelSpec
+	Scenarios []Scenario
+	Policies  [][]Policy // Policies[i] belongs to Scenarios[i]
+	jobs      []Job
+}
+
+// PanelResult is one scenario's aggregated panel row set, in policy
+// order — the data behind one Figure 5/6 panel.
+type PanelResult struct {
+	Scenario string
+	Results  []metrics.Result
+}
+
+// reps returns the effective replication count.
+func (ps PanelSpec) reps() int {
+	if ps.Reps < 1 {
+		return 1
+	}
+	return ps.Reps
+}
+
+// Compile validates the panel and resolves it into runnable form. Every
+// scenario spec must compile and every policy name must resolve; errors
+// carry the offending name and, for registry misses, the registered
+// alternatives.
+func (ps PanelSpec) Compile() (*Panel, error) {
+	if len(ps.Scenarios) == 0 {
+		return nil, fmt.Errorf("experiment: panel %q has no scenarios", ps.Name)
+	}
+	if len(ps.Policies) == 0 {
+		return nil, fmt.Errorf("experiment: panel %q has no policies", ps.Name)
+	}
+	p := &Panel{Spec: ps}
+	reps := ps.reps()
+	for _, sp := range ps.Scenarios {
+		sc, err := sp.Compile()
+		if err != nil {
+			return nil, err
+		}
+		var pols []Policy
+		for _, name := range ps.Policies {
+			if name == staticWildcardName {
+				for _, m := range sc.StaticFleets {
+					pols = append(pols, StaticPolicy(m))
+				}
+				continue
+			}
+			pol, err := ResolvePolicy(name)
+			if err != nil {
+				return nil, err
+			}
+			pols = append(pols, pol)
+		}
+		if len(pols) == 0 {
+			return nil, fmt.Errorf("experiment: panel %q: scenario %q expands to zero policies (static:* with an empty baseline ladder?)", ps.Name, sc.Name)
+		}
+		p.Scenarios = append(p.Scenarios, sc)
+		p.Policies = append(p.Policies, pols)
+		for _, pol := range pols {
+			for r := 0; r < reps; r++ {
+				p.jobs = append(p.jobs, Job{Scenario: sc, Policy: pol, Seed: ps.Seed + uint64(r)})
+			}
+		}
+	}
+	return p, nil
+}
+
+// Validate compiles the panel and discards the result.
+func (ps PanelSpec) Validate() error {
+	_, err := ps.Compile()
+	return err
+}
+
+// Jobs exposes the panel's flat job queue (one entry per replication, in
+// presentation order).
+func (p *Panel) Jobs() []Job { return p.jobs }
+
+// Run sweeps the panel's job queue and aggregates each (scenario, policy)
+// cell over its replications, returning one PanelResult per scenario in
+// spec order. A zero opts.Workers falls back to the spec's Workers field.
+func (p *Panel) Run(opts SweepOptions) []PanelResult {
+	if opts.Workers == 0 {
+		opts.Workers = p.Spec.Workers
+	}
+	flat := Sweep(p.jobs, opts)
+	reps := p.Spec.reps()
+	out := make([]PanelResult, 0, len(p.Scenarios))
+	idx := 0
+	for i, sc := range p.Scenarios {
+		res := make([]metrics.Result, len(p.Policies[i]))
+		for j := range p.Policies[i] {
+			res[j] = metrics.Aggregate(flat[idx : idx+reps])
+			idx += reps
+		}
+		out = append(out, PanelResult{Scenario: sc.Name, Results: res})
+	}
+	return out
+}
+
+// PaperPanel returns the built-in panel spec of one registered scenario
+// (by registry name, e.g. "web" or "scientific") at the given scale
+// (0 = the scenario's default): the adaptive policy against the full
+// static baseline ladder, exactly what RunAll hardwires.
+func PaperPanel(scenario string, scale float64, reps int, seed uint64) (PanelSpec, error) {
+	sp, err := BuildScenarioSpec(scenario, scale)
+	if err != nil {
+		return PanelSpec{}, err
+	}
+	return PanelSpec{
+		Name:      sp.Name + "-panel",
+		Scenarios: []ScenarioSpec{sp},
+		Policies:  []string{"adaptive", staticWildcardName},
+		Reps:      reps,
+		Seed:      seed,
+	}, nil
+}
+
+// ParsePanelSpec strictly decodes a JSON panel spec: unknown fields are
+// an error, so typos in spec files fail loudly instead of silently
+// running defaults.
+func ParsePanelSpec(data []byte) (PanelSpec, error) {
+	var ps PanelSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ps); err != nil {
+		return PanelSpec{}, fmt.Errorf("experiment: invalid panel spec: %w", err)
+	}
+	// Reject trailing garbage after the spec object.
+	if dec.More() {
+		return PanelSpec{}, fmt.Errorf("experiment: invalid panel spec: trailing data after the spec object")
+	}
+	return ps, nil
+}
+
+// MarshalJSONIndent renders the spec as the canonical indented JSON used
+// by the golden spec files under examples/specs/.
+func (ps PanelSpec) MarshalJSONIndent() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(ps); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FigureCaption builds the standard caption for one scenario's panel
+// table, mirroring the CLI's -all output.
+func FigureCaption(panelName string, sc Scenario, reps int) string {
+	caption := fmt.Sprintf("%s scenario, scale %g, %d replication(s) averaged",
+		sc.Name, sc.Scale, reps)
+	if fig, ok := map[string]string{"web": "5", "scientific": "6"}[sc.Name]; ok {
+		caption += fmt.Sprintf(" (paper Figure %s)", fig)
+	}
+	if panelName != "" && !strings.HasPrefix(panelName, sc.Name) {
+		caption = panelName + ": " + caption
+	}
+	return caption
+}

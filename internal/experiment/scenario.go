@@ -1,7 +1,9 @@
 // Package experiment defines the paper's two evaluation scenarios (web and
 // scientific), runs seeded replications of any provisioning policy over
 // them — in parallel across replications — and formats the resulting
-// tables and figure data (Figures 3–6 of the paper).
+// tables and figure data (Figures 3–6 of the paper). Scenarios and panels
+// are described declaratively (ScenarioSpec, PanelSpec) and compiled into
+// runnable form; Web and Sci are thin wrappers over their specs.
 package experiment
 
 import (
@@ -15,7 +17,8 @@ import (
 
 // Scenario is one evaluation setup: a workload model, the analyzer the
 // adaptive policy uses on it, the QoS contract, and the static baseline
-// fleet sizes of the paper.
+// fleet sizes of the paper. It is the compiled (runnable) form of a
+// ScenarioSpec.
 type Scenario struct {
 	Name    string
 	Scale   float64 // load scale: 1 = the paper's full intensity
@@ -52,66 +55,22 @@ func scaled(m int, scale float64) int {
 // replication generates ≈500 M requests; see DESIGN.md §3 for the
 // scale-invariance argument behind running reduced scales.
 func Web(scale float64) Scenario {
-	if scale <= 0 {
-		scale = 1
-	}
-	sc := Scenario{
-		Name:    "web",
-		Scale:   scale,
-		Horizon: workload.Week,
-		Cfg: provision.Config{
-			QoS: provision.QoS{
-				Ts:             0.250,
-				MaxRejection:   0,
-				RejectionTol:   1e-3,
-				MinUtilization: 0.80,
-			},
-			NominalTr: 0.100,
-			MaxVMs:    maxVMs(200, scale),
-			VMSpec:    cloud.DefaultVMSpec(),
-		},
-		NewSource: func() workload.Source { return workload.NewWeb(scale) },
-	}
-	sc.NewAnalyzer = func(src workload.Source) workload.Analyzer {
-		return &workload.WebAnalyzer{Model: src.(*workload.Web), Horizon: sc.Horizon}
-	}
-	for _, m := range []int{50, 75, 100, 125, 150} {
-		sc.StaticFleets = append(sc.StaticFleets, scaled(m, scale))
-	}
-	return sc
+	return mustCompile(WebSpec(scale))
 }
 
 // Sci returns the paper's scientific scenario (Section V-B2): one day of
 // the Bag-of-Tasks workload; QoS Ts = 700 s, no rejection allowed, 80%
 // minimum utilization; static baselines of 15–75 instances.
 func Sci(scale float64) Scenario {
-	if scale <= 0 {
-		scale = 1
-	}
-	sc := Scenario{
-		Name:    "scientific",
-		Scale:   scale,
-		Horizon: workload.Day,
-		Cfg: provision.Config{
-			QoS: provision.QoS{
-				Ts:             700,
-				MaxRejection:   0,
-				RejectionTol:   1e-3,
-				MinUtilization: 0.80,
-			},
-			NominalTr: 300,
-			MaxVMs:    maxVMs(120, scale),
-			VMSpec:    cloud.DefaultVMSpec(),
-		},
-		NewSource: func() workload.Source { return workload.NewScientific(scale) },
-	}
-	sc.NewAnalyzer = func(src workload.Source) workload.Analyzer {
-		a := workload.NewSciAnalyzer(src.(*workload.Scientific))
-		a.Horizon = sc.Horizon
-		return a
-	}
-	for _, m := range []int{15, 30, 45, 60, 75} {
-		sc.StaticFleets = append(sc.StaticFleets, scaled(m, scale))
+	return mustCompile(SciSpec(scale))
+}
+
+// mustCompile compiles a built-in spec; the built-ins are valid by
+// construction, so a failure is a programming error.
+func mustCompile(sp ScenarioSpec) Scenario {
+	sc, err := sp.Compile()
+	if err != nil {
+		panic(err)
 	}
 	return sc
 }

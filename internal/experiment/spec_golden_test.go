@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The committed golden spec files under examples/specs/ must stay exactly
+// what -dumpspec emits for the paper panels (scale defaults, 3 reps,
+// seed 1), reload, and compile. Regenerate with:
+//
+//	go run ./cmd/vmprovsim -dumpspec web -reps 3 -seed 1 > examples/specs/web_panel.json
+//	go run ./cmd/vmprovsim -dumpspec scientific -reps 3 -seed 1 > examples/specs/scientific_panel.json
+func TestGoldenSpecFiles(t *testing.T) {
+	cases := []struct {
+		scenario string
+		file     string
+	}{
+		{"web", "web_panel.json"},
+		{"scientific", "scientific_panel.json"},
+	}
+	for _, c := range cases {
+		path := filepath.Join("..", "..", "examples", "specs", c.file)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("golden spec file missing: %v", err)
+		}
+		spec, err := ParsePanelSpec(data)
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", c.file, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s does not compile: %v", c.file, err)
+		}
+		want, err := PaperPanel(c.scenario, 0, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := want.MarshalJSONIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(wantJSON) {
+			t.Errorf("%s is stale — regenerate with -dumpspec (see test comment)", c.file)
+		}
+	}
+}

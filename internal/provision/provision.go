@@ -21,21 +21,23 @@ import (
 )
 
 // QoS holds the negotiated targets of the application (Section III-B).
+// The JSON tags are the schema of the declarative scenario specs.
 type QoS struct {
-	Ts             float64 // maximum response time of a request (seconds)
-	MaxRejection   float64 // maximum fraction of rejected requests (paper: 0)
-	RejectionTol   float64 // modeling tolerance added to MaxRejection when evaluating the analytic fleet model
-	MinUtilization float64 // minimum per-instance utilization (paper: 0.8)
+	Ts             float64 `json:"ts"`                        // maximum response time of a request (seconds)
+	MaxRejection   float64 `json:"max_rejection"`             // maximum fraction of rejected requests (paper: 0)
+	RejectionTol   float64 `json:"rejection_tol,omitempty"`   // modeling tolerance added to MaxRejection when evaluating the analytic fleet model
+	MinUtilization float64 `json:"min_utilization,omitempty"` // minimum per-instance utilization (paper: 0.8)
 }
 
-// Config parameterizes a provisioner.
+// Config parameterizes a provisioner. The JSON tags are the schema of the
+// declarative scenario specs.
 type Config struct {
-	QoS           QoS
-	NominalTr     float64      // nominal single-request execution time; with Ts it defines k (Equation 1)
-	MaxVMs        int          // contract ceiling on concurrently running VMs
-	VMSpec        cloud.VMSpec // resources of each application VM
-	BootDelay     float64      // seconds from provisioning to readiness (paper setup: 0)
-	MonitorWindow int          // completions in the monitored-Tm sliding window (default 1000)
+	QoS           QoS          `json:"qos"`
+	NominalTr     float64      `json:"nominal_tr"`               // nominal single-request execution time; with Ts it defines k (Equation 1)
+	MaxVMs        int          `json:"max_vms"`                  // contract ceiling on concurrently running VMs
+	VMSpec        cloud.VMSpec `json:"vm_spec"`                  // resources of each application VM
+	BootDelay     float64      `json:"boot_delay,omitempty"`     // seconds from provisioning to readiness (paper setup: 0)
+	MonitorWindow int          `json:"monitor_window,omitempty"` // completions in the monitored-Tm sliding window (default 1000)
 
 	// SLA extension (the paper's future-work Section VII); both default
 	// off, leaving the base experiments untouched.
@@ -43,11 +45,11 @@ type Config struct {
 	// PreemptLowPriority lets an arrival finding every instance full
 	// displace a waiting request of a strictly lower class instead of
 	// being rejected.
-	PreemptLowPriority bool
+	PreemptLowPriority bool `json:"preempt_low_priority,omitempty"`
 	// DeadlineAware makes dispatch skip instances whose backlog predicts
 	// a deadline miss ((queue+1)·Tm past the request's deadline) and
 	// reject requests no instance can finish in time.
-	DeadlineAware bool
+	DeadlineAware bool `json:"deadline_aware,omitempty"`
 }
 
 // Validate reports configuration errors.
@@ -63,6 +65,9 @@ func (c Config) Validate() error {
 	}
 	if c.NominalTr <= 0 {
 		return fmt.Errorf("provision: NominalTr must be positive, got %v", c.NominalTr)
+	}
+	if c.QoS.Ts < c.NominalTr {
+		return fmt.Errorf("provision: queue size k = ⌊Ts/Tr⌋ = ⌊%v/%v⌋ < 1 — QoS.Ts must be at least NominalTr or every request violates QoS on arrival", c.QoS.Ts, c.NominalTr)
 	}
 	if c.MaxVMs < 1 {
 		return fmt.Errorf("provision: MaxVMs must be at least 1, got %d", c.MaxVMs)

@@ -249,6 +249,7 @@ func TestInvalidConfigPanics(t *testing.T) {
 		{QoS: QoS{Ts: 1}, NominalTr: 0, MaxVMs: 1},
 		{QoS: QoS{Ts: 1}, NominalTr: 1, MaxVMs: 0},
 		{QoS: QoS{Ts: 1}, NominalTr: 1, MaxVMs: 1, BootDelay: -1},
+		{QoS: QoS{Ts: 0.5}, NominalTr: 1, MaxVMs: 1}, // k = ⌊Ts/Tr⌋ < 1
 	}
 	for i, cfg := range bad {
 		func() {

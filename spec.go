@@ -1,0 +1,110 @@
+package vmprov
+
+import (
+	"vmprov/internal/cloud"
+	"vmprov/internal/experiment"
+	"vmprov/internal/workload"
+)
+
+// Declarative scenario & policy layer, re-exported so library users get
+// the same serializable entry point as the CLI's -spec mode: scenarios
+// and panels are data (JSON-marshalable specs resolved through
+// registries), compiled into the runnable Scenario/Job forms.
+type (
+	// ScenarioSpec is the declarative, serializable form of a Scenario.
+	ScenarioSpec = experiment.ScenarioSpec
+	// PanelSpec is a declarative experiment panel: scenarios × policies
+	// × replications at consecutive seeds.
+	PanelSpec = experiment.PanelSpec
+	// Panel is a compiled PanelSpec, ready to run over the sweep engine.
+	Panel = experiment.Panel
+	// PanelResult is one scenario's aggregated panel row set.
+	PanelResult = experiment.PanelResult
+	// PolicyBuilder builds a registered policy from its ":arg" suffix.
+	PolicyBuilder = experiment.PolicyBuilder
+	// WorkloadBuilder is the compiled form of a workload spec: fresh
+	// per-replication sources plus the paired analyzer factory.
+	WorkloadBuilder = workload.Builder
+	// WorkloadConstructor builds a WorkloadBuilder from raw JSON params.
+	WorkloadConstructor = workload.Constructor
+	// WebWorkloadParams parameterize the "web" workload kind.
+	WebWorkloadParams = workload.WebParams
+	// SciWorkloadParams parameterize the "scientific" workload kind.
+	SciWorkloadParams = workload.SciParams
+	// ModulatedWorkloadParams parameterize the "modulated" (MMPP) kind.
+	ModulatedWorkloadParams = workload.ModulatedParams
+	// TraceWorkloadParams parameterize the "trace" (rate-replay) kind.
+	TraceWorkloadParams = workload.TraceParams
+)
+
+// StaticWildcard is the panel policy token ("static:*") expanding to a
+// scenario's full static baseline ladder.
+const StaticWildcard = experiment.StaticWildcard
+
+// WebSpec returns the declarative form of the paper's web scenario;
+// Web(scale) is exactly WebSpec(scale) compiled.
+func WebSpec(scale float64) ScenarioSpec { return experiment.WebSpec(scale) }
+
+// SciSpec returns the declarative form of the paper's scientific
+// scenario; Sci(scale) is exactly SciSpec(scale) compiled.
+func SciSpec(scale float64) ScenarioSpec { return experiment.SciSpec(scale) }
+
+// PaperPanel returns the built-in panel spec of a registered scenario:
+// the adaptive policy against the full static baseline ladder.
+func PaperPanel(scenario string, scale float64, reps int, seed uint64) (PanelSpec, error) {
+	return experiment.PaperPanel(scenario, scale, reps, seed)
+}
+
+// ParsePanelSpec strictly decodes a JSON panel spec (unknown fields are
+// errors).
+func ParsePanelSpec(data []byte) (PanelSpec, error) {
+	return experiment.ParsePanelSpec(data)
+}
+
+// RegisterScenario adds a named scenario spec builder to the scenario
+// registry — the extension point for third-party scenarios.
+func RegisterScenario(name string, defaultScale float64, build func(scale float64) ScenarioSpec) {
+	experiment.RegisterScenario(name, defaultScale, build)
+}
+
+// ScenarioNames lists the registered scenario names.
+func ScenarioNames() []string { return experiment.ScenarioNames() }
+
+// BuildScenarioSpec resolves a registered scenario by name at the given
+// scale (0 = the scenario's default); unknown names list the registry.
+func BuildScenarioSpec(name string, scale float64) (ScenarioSpec, error) {
+	return experiment.BuildScenarioSpec(name, scale)
+}
+
+// RegisterPolicy adds a policy builder to the policy registry — the
+// extension point for third-party provisioning policies.
+func RegisterPolicy(name, usage string, build PolicyBuilder) {
+	experiment.RegisterPolicy(name, usage, build)
+}
+
+// PolicyNames lists the registered policy usage forms.
+func PolicyNames() []string { return experiment.PolicyNames() }
+
+// ResolvePolicy resolves "adaptive", "static:75", "adaptive:window", …
+// through the policy registry.
+func ResolvePolicy(spec string) (Policy, error) { return experiment.ResolvePolicy(spec) }
+
+// RegisterWorkload adds a workload kind to the workload registry — the
+// extension point for third-party workload models (see DESIGN.md §7).
+func RegisterWorkload(name string, ctor WorkloadConstructor) { workload.Register(name, ctor) }
+
+// WorkloadNames lists the registered workload kind names.
+func WorkloadNames() []string { return workload.Registered() }
+
+// FigureCaption builds the standard caption for one scenario's panel
+// table (the CLI's -all / -spec table headings).
+func FigureCaption(panelName string, sc Scenario, reps int) string {
+	return experiment.FigureCaption(panelName, sc, reps)
+}
+
+// ParsePlacement resolves a placement policy by name ("least-loaded",
+// "first-fit", "round-robin"); the empty string is the paper's default.
+func ParsePlacement(name string) (Placement, error) { return cloud.ParsePlacement(name) }
+
+// PlacementNames lists the resolvable placement policy names.
+func PlacementNames() []string { return cloud.PlacementNames() }
