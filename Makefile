@@ -11,9 +11,9 @@ SWEEPOUT  ?= BENCH_sweep.json
 SWEEPTMP  ?= /tmp/BENCH_sweep_fresh.json
 SPECTMP   ?= /tmp/vmprov_spec_smoke.json
 
-.PHONY: ci fmt vet build test race sweep-race fuzz bench-smoke sweep-smoke spec-roundtrip bench bench-sweep bench-compare golden
+.PHONY: ci fmt vet build test race sweep-race fault-smoke fuzz bench-smoke sweep-smoke spec-roundtrip bench bench-sweep bench-compare golden
 
-ci: fmt vet build race sweep-race fuzz bench-smoke sweep-smoke spec-roundtrip
+ci: fmt vet build race sweep-race fault-smoke fuzz bench-smoke sweep-smoke spec-roundtrip
 
 # gofmt cleanliness gate: fail (and list the files) if any tracked Go
 # source is not gofmt-formatted.
@@ -37,13 +37,26 @@ race:
 
 # The sweep engine's concurrency properties under the race detector:
 # pooled workers, result placement, and the serialized completion hook.
+# The TestSweepFault* cases put a fault-enabled panel through the same
+# concurrent machinery.
 sweep-race:
 	$(GO) test -race -count=1 ./internal/experiment -run 'TestSweep|TestRunContext|TestRunParallel'
 
+# Fault-injection smoke: a short fault panel sweeps under the race
+# detector (TestSweepFault*), the self-healing provisioner's fault
+# tests run under -race, and the committed fault panel runs end to end
+# through -spec.
+fault-smoke:
+	$(GO) test -race -count=1 ./internal/experiment -run 'TestSweepFault'
+	$(GO) test -race -count=1 ./internal/provision -run 'TestRetry|TestCrash|TestBootFailure|TestStaleBoot|TestTransientRelease|TestGracefulDegradation|TestReactivated|TestCeiling'
+	$(GO) run ./cmd/vmprovsim -spec examples/specs/web_fault_panel.json > /dev/null
+
 # Short fuzzing of the kernel's heap/arena against the reference
-# scheduler. The seed corpus also runs on every plain `go test`.
+# scheduler, plus the fault-schedule determinism fuzzer. The seed
+# corpora also run on every plain `go test`.
 fuzz:
 	$(GO) test ./internal/sim -run FuzzSimHeap -fuzz FuzzSimHeap -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiment -run FuzzFaultSchedule -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME)
 
 # Regenerate the kernel throughput record (web scenario, scales 0.1 and
 # 1.0, one simulated hour each).

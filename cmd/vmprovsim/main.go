@@ -44,7 +44,7 @@ func main() {
 		policy   = flag.String("policy", "adaptive", "registered policy name (adaptive, static:<m>, ...; single-policy mode)")
 		vms      = flag.Int("vms", 0, "fleet size for -policy static")
 		specFile = flag.String("spec", "", "run a declarative JSON panel spec file (\"-\" = stdin)")
-		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, or all")
+		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, all, or web-fault")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
 		series   = flag.Bool("series", false, "emit the instance-count time series (single-policy mode)")
 		traceOut = flag.String("trace", "", "write a JSONL event trace of one replication to this file (single-policy mode)")

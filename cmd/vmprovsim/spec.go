@@ -8,12 +8,20 @@ import (
 	"vmprov"
 )
 
-// dumpSpec prints a built-in paper panel spec ("web", "scientific", or
-// "all" for one panel holding both scenarios) as indented JSON. scale 0
-// picks each scenario's default; reps and seed are embedded verbatim.
+// dumpSpec prints a built-in paper panel spec ("web", "scientific",
+// "all" for one panel holding both scenarios, or "web-fault" for the
+// resilience panel with injected crashes and API faults) as indented
+// JSON. scale 0 picks each scenario's default; reps and seed are
+// embedded verbatim.
 func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) error {
 	var spec vmprov.PanelSpec
 	switch name {
+	case "web-fault":
+		var err error
+		spec, err = vmprov.FaultPanel(scale, reps, seed)
+		if err != nil {
+			return err
+		}
 	case "all":
 		web, err := vmprov.PaperPanel("web", scale, reps, seed)
 		if err != nil {
@@ -30,7 +38,7 @@ func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) er
 		var err error
 		spec, err = vmprov.PaperPanel(name, scale, reps, seed)
 		if err != nil {
-			return fmt.Errorf("%w (or \"all\")", err)
+			return fmt.Errorf("%w (or \"all\", \"web-fault\")", err)
 		}
 	}
 	data, err := spec.MarshalJSONIndent()

@@ -1,0 +1,116 @@
+package app
+
+import (
+	"testing"
+
+	"vmprov/internal/cloud"
+	"vmprov/internal/sim"
+	"vmprov/internal/workload"
+)
+
+func newCrashTestInstance(s *sim.Sim, k int, onComplete func(Completion)) *Instance {
+	if onComplete == nil {
+		onComplete = func(Completion) {}
+	}
+	vm := cloud.VM{ID: 1, Spec: cloud.VMSpec{Cores: 1, RAMMB: 2048, Capacity: 1}}
+	return NewInstance(s, vm, k, onComplete)
+}
+
+// TestCrashAccounting: a crash finalizes busy time to the moment of
+// death, hands back the waiting queue, and reports the in-service
+// request as lost.
+func TestCrashAccounting(t *testing.T) {
+	s := sim.New()
+	in := newCrashTestInstance(s, 3, nil)
+	in.Activate()
+	s.At(0, func() {
+		in.Accept(workload.Request{ID: 1, Service: 100})
+		in.Accept(workload.Request{ID: 2, Service: 100})
+		in.Accept(workload.Request{ID: 3, Service: 100})
+	})
+	s.RunUntil(40)
+	lost, wasBusy, queued := in.Crash(40)
+	if !wasBusy || lost.ID != 1 {
+		t.Fatalf("lost = %+v (busy=%v), want request 1 in service", lost, wasBusy)
+	}
+	if len(queued) != 2 || queued[0].ID != 2 || queued[1].ID != 3 {
+		t.Fatalf("queued = %+v, want requests 2 and 3", queued)
+	}
+	if in.State() != Destroyed {
+		t.Fatalf("state after crash = %v, want destroyed", in.State())
+	}
+	if in.BusyTime != 40 {
+		t.Fatalf("busy time = %v, want 40 (finalized at death)", in.BusyTime)
+	}
+	if in.DestroyedAt != 40 || in.Lifetime(99) != 40 {
+		t.Fatalf("destruction accounting wrong: at=%v lifetime=%v", in.DestroyedAt, in.Lifetime(99))
+	}
+}
+
+// TestCrashIdleInstance: crashing an idle (or booting) instance loses
+// nothing.
+func TestCrashIdleInstance(t *testing.T) {
+	s := sim.New()
+	in := newCrashTestInstance(s, 2, nil)
+	_, wasBusy, queued := in.Crash(0) // legal while still Booting
+	if wasBusy || len(queued) != 0 {
+		t.Fatalf("idle crash reported load: busy=%v queued=%d", wasBusy, len(queued))
+	}
+}
+
+// TestCrashEpochBump: every exit from service bumps the epoch, so stale
+// deferred events can identify the lifecycle they were scheduled for.
+func TestCrashEpochBump(t *testing.T) {
+	s := sim.New()
+	in := newCrashTestInstance(s, 2, nil)
+	if in.Epoch() != 0 {
+		t.Fatalf("fresh instance epoch = %d, want 0", in.Epoch())
+	}
+	in.Crash(0)
+	if in.Epoch() != 1 {
+		t.Fatalf("epoch after crash = %d, want 1", in.Epoch())
+	}
+
+	s2 := sim.New()
+	in2 := newCrashTestInstance(s2, 2, nil)
+	in2.Destroy()
+	if in2.Epoch() != 1 {
+		t.Fatalf("epoch after destroy = %d, want 1", in2.Epoch())
+	}
+}
+
+// TestStaleCompletionAfterCrash: the completion event of the request in
+// service cannot be canceled; when it fires after a crash it must be a
+// no-op instead of double-accounting.
+func TestStaleCompletionAfterCrash(t *testing.T) {
+	s := sim.New()
+	completions := 0
+	in := newCrashTestInstance(s, 2, func(Completion) { completions++ })
+	in.Activate()
+	s.At(0, func() { in.Accept(workload.Request{ID: 1, Service: 10}) })
+	s.At(4, func() { in.Crash(4) })
+	s.Run() // the completion scheduled for t=10 still fires
+	if completions != 0 {
+		t.Fatalf("stale completion ran: %d completions after crash", completions)
+	}
+	if in.Served != 0 {
+		t.Fatalf("served = %d after crash, want 0", in.Served)
+	}
+	if in.BusyTime != 4 {
+		t.Fatalf("busy time = %v, want 4 (not extended by the stale event)", in.BusyTime)
+	}
+}
+
+// TestDoubleCrashPanics: a crash of an already-destroyed instance is a
+// provisioning-layer bug.
+func TestDoubleCrashPanics(t *testing.T) {
+	s := sim.New()
+	in := newCrashTestInstance(s, 2, nil)
+	in.Crash(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Crash did not panic")
+		}
+	}()
+	in.Crash(1)
+}

@@ -70,6 +70,12 @@ type Instance struct {
 	BusyTime    float64
 	Served      uint64
 
+	// CrashEv is the provisioning layer's handle to this instance's
+	// pending injected-crash event, if any — stored here so retirement
+	// can cancel it without a side table. The zero Event is inert.
+	CrashEv sim.Event
+
+	epoch      uint32 // bumped at every Destroy/Crash; guards stale events
 	sim        *sim.Sim
 	fire       sim.FireID // interned completion callback for this instance
 	onComplete func(Completion)
@@ -99,6 +105,13 @@ func NewInstance(s *sim.Sim, vm cloud.VM, k int, onComplete func(Completion)) *I
 
 // State returns the instance lifecycle state.
 func (in *Instance) State() State { return in.state }
+
+// Epoch returns the instance's lifecycle epoch, bumped every time the
+// instance leaves service (Destroy or Crash). Deferred events that
+// captured an instance while it was booting compare epochs at fire time,
+// so a stale event can never act on a slot that has since been retired —
+// even if the slot were reused for a new lifecycle.
+func (in *Instance) Epoch() uint32 { return in.epoch }
 
 // Len returns the number of requests in the system (waiting + in
 // service).
@@ -161,6 +174,32 @@ func (in *Instance) Destroy() {
 	}
 	in.state = Destroyed
 	in.DestroyedAt = in.sim.Now()
+	in.epoch++
+}
+
+// Crash kills the instance at time now — the fault layer's VM failure.
+// Unlike Destroy it is legal in any live state, queue and all: the
+// request in service (if any) is returned as lost, the waiting queue is
+// handed back for re-submission, and busy-time accounting is finalized
+// through the moment of death. The in-flight completion event cannot be
+// canceled (completions are fire-and-forget); the Destroyed state plus
+// the epoch bump make it a no-op when it fires.
+func (in *Instance) Crash(now float64) (lost workload.Request, wasBusy bool, queued []workload.Request) {
+	if in.state == Destroyed {
+		panic(fmt.Sprintf("app: Crash of destroyed instance %d", in.VM.ID))
+	}
+	lost, wasBusy = in.cur, in.busy
+	queued = in.queue
+	if in.busy {
+		in.BusyTime += now - in.curAt
+	}
+	in.busy = false
+	in.cur = workload.Request{}
+	in.queue = nil // ownership of the waiting requests passes to the caller
+	in.state = Destroyed
+	in.DestroyedAt = now
+	in.epoch++
+	return lost, wasBusy, queued
 }
 
 // Accept enqueues a request on an Active instance, starting service
@@ -245,6 +284,13 @@ func completeInstance(a any) { a.(*Instance).complete() }
 // complete finishes the current request, reports it, and pulls the next
 // one from the queue.
 func (in *Instance) complete() {
+	// A crash between scheduling and firing leaves the completion event
+	// in flight (ScheduleFire events cannot be canceled); the crashed
+	// instance already accounted and re-homed its requests, so the stale
+	// firing is a no-op.
+	if in.state == Destroyed {
+		return
+	}
 	now := in.sim.Now()
 	done := Completion{Inst: in, Req: in.cur, Start: in.curAt, Finish: now}
 	in.BusyTime += now - in.curAt

@@ -31,6 +31,12 @@ var ErrNoCapacity = errors.New("cloud: no host has capacity for the requested VM
 // ErrUnknownVM reports a release of a VM the data center does not know.
 var ErrUnknownVM = errors.New("cloud: unknown VM")
 
+// ErrTransient marks a temporary IaaS API failure: the request was valid
+// and may succeed if retried. The fault-injection layer wraps this
+// sentinel, and the provisioning layer keys its retry/backoff loop on it
+// (a transient error is not a capacity shortfall).
+var ErrTransient = errors.New("cloud: transient API error")
+
 // HostSpec describes one physical machine.
 type HostSpec struct {
 	Cores int

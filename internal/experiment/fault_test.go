@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"vmprov/internal/fault"
+)
+
+// tinyFaultPanel is a trimmed FaultPanel — one MTTF rung, a one-hour
+// horizon, two policies — small enough for race-enabled sweeps.
+func tinyFaultPanel(t testing.TB, reps int) PanelSpec {
+	t.Helper()
+	ps, err := FaultPanel(0, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Scenarios = ps.Scenarios[1:2] // the 2 h MTTF rung
+	ps.Scenarios[0].Horizon = 3600
+	ps.Policies = []string{"adaptive", "static:8"}
+	return ps
+}
+
+// TestSweepFaultPanelDeterministicAcrossWorkers: a fault-enabled panel is
+// bit-identical at every sweep worker count — faults draw from their own
+// per-replication substream, untouched by scheduling.
+func TestSweepFaultPanelDeterministicAcrossWorkers(t *testing.T) {
+	panel, err := tinyFaultPanel(t, 2).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := panel.Jobs()
+	base := Sweep(jobs, SweepOptions{Workers: 1})
+	sawFaults := false
+	for _, r := range base {
+		if r.Crashes > 0 {
+			sawFaults = true
+		}
+		if r.Availability < 0 || r.Availability > 1 {
+			t.Fatalf("availability %v outside [0,1]", r.Availability)
+		}
+		if r.MTTR < 0 {
+			t.Fatalf("negative MTTR %v", r.MTTR)
+		}
+	}
+	if !sawFaults {
+		t.Fatal("fault panel produced no crashes — injection not wired")
+	}
+	for _, workers := range []int{4, 8} {
+		got := Sweep(jobs, SweepOptions{Workers: workers})
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d job %d differs:\n%+v\n%+v", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestSweepFaultSpecRoundTrip: a fault panel run from its JSON form is
+// bit-identical to the programmatic panel.
+func TestSweepFaultSpecRoundTrip(t *testing.T) {
+	ps := tinyFaultPanel(t, 1)
+	data, err := ps.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"fault"`) {
+		t.Fatal("fault block missing from the serialized spec")
+	}
+	parsed, err := ParsePanelSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progPanel, err := ps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPanel, err := parsed.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := progPanel.Run(SweepOptions{Workers: 1})
+	json4 := jsonPanel.Run(SweepOptions{Workers: 4})
+	if len(prog) != len(json4) {
+		t.Fatalf("panel shapes differ: %d vs %d", len(prog), len(json4))
+	}
+	for i := range prog {
+		if prog[i].Scenario != json4[i].Scenario {
+			t.Fatalf("scenario order differs at %d", i)
+		}
+		for j := range prog[i].Results {
+			if prog[i].Results[j] != json4[i].Results[j] {
+				t.Fatalf("cell (%d,%d) differs between JSON and programmatic runs:\n%+v\n%+v",
+					i, j, prog[i].Results[j], json4[i].Results[j])
+			}
+		}
+	}
+}
+
+// TestSweepZeroFaultSpecBitIdentical: an explicit all-zeros fault spec
+// takes the injector-free path and reproduces the plain scenario exactly.
+func TestSweepZeroFaultSpecBitIdentical(t *testing.T) {
+	plain := Web(0.1)
+	plain.Horizon = 1800
+	zeroed := plain
+	zeroed.Fault = fault.Spec{}
+	if !zeroed.Fault.IsZero() {
+		t.Fatal("zero spec not zero")
+	}
+	rc := NewRunContext()
+	a, _ := rc.Run(plain, AdaptivePolicy(), 42, RunOptions{})
+	b, _ := rc.Run(zeroed, AdaptivePolicy(), 42, RunOptions{})
+	if a != b {
+		t.Fatalf("zero fault spec perturbed the run:\n%+v\n%+v", a, b)
+	}
+	if a.Crashes != 0 || a.Retries != 0 || a.RequestsLost != 0 {
+		t.Fatalf("fault metrics non-zero without faults: %+v", a)
+	}
+}
+
+// TestFaultMetricsInCSV: the resilience columns surface through the
+// figure-table and CSV formatters for a faulty run.
+func TestFaultMetricsInCSV(t *testing.T) {
+	panel, err := tinyFaultPanel(t, 1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prs := panel.Run(SweepOptions{Workers: 2})
+	csv := ResultsCSV(prs[0].Results)
+	if !strings.Contains(csv, "crashes,retries,lost,requeued,mttr_s,availability,capacity_shortfalls") {
+		t.Fatalf("CSV missing resilience columns:\n%s", csv)
+	}
+	table := FigureTable("fault panel", prs[0].Results)
+	if !strings.Contains(table, "crashes") || !strings.Contains(table, "avail") {
+		t.Fatalf("figure table missing resilience columns:\n%s", table)
+	}
+}
+
+// FuzzFaultSchedule throws arbitrary fault specs at a small scenario and
+// checks the two invariants everything else rests on: a faulty run is a
+// pure function of its seed (bit-identical when repeated, including in a
+// reused pooled context), and the derived metrics stay in range.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), 600.0, 0.05, 20.0, 0.1, 4.0, 0.05, 0.02)
+	f.Add(uint64(7), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(uint64(3), 60.0, 0.3, 5.0, 0.5, 16.0, 0.3, 0.3)
+	base := Web(0.02)
+	base.Horizon = 600
+	rc1, rc2 := NewRunContext(), NewRunContext()
+	f.Fuzz(func(t *testing.T, seed uint64, mttf, bootFailure, bootMean, slowProb, slowFactor, provErr, relErr float64) {
+		sp := fault.Spec{
+			MTTF: mttf, BootFailure: bootFailure, BootMean: bootMean,
+			SlowBootProb: slowProb, SlowBootFactor: slowFactor,
+			ProvisionError: provErr, ReleaseError: relErr,
+		}
+		if sp.Validate() != nil {
+			t.Skip()
+		}
+		sc := base
+		sc.Fault = sp
+		a, _ := rc1.Run(sc, AdaptivePolicy(), seed, RunOptions{})
+		b, _ := rc2.Run(sc, AdaptivePolicy(), seed, RunOptions{})
+		if a != b {
+			t.Fatalf("faulty run not deterministic:\n%+v\n%+v", a, b)
+		}
+		c, _ := rc1.Run(sc, AdaptivePolicy(), seed, RunOptions{})
+		if a != c {
+			t.Fatalf("pooled-context rerun differs:\n%+v\n%+v", a, c)
+		}
+		if a.Availability < 0 || a.Availability > 1 {
+			t.Fatalf("availability %v outside [0,1]", a.Availability)
+		}
+		if a.MTTR < 0 {
+			t.Fatalf("negative MTTR %v", a.MTTR)
+		}
+		if a.RejectionRate < 0 || a.RejectionRate > 1 {
+			t.Fatalf("rejection rate %v outside [0,1]", a.RejectionRate)
+		}
+	})
+}

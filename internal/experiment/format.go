@@ -18,12 +18,12 @@ func FigureTable(caption string, results []metrics.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", caption)
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "policy\tmin inst\tmax inst\trejection\tutilization\tVM hours\tresp mean\tresp sd\tviolations\tserved")
+	fmt.Fprintln(w, "policy\tmin inst\tmax inst\trejection\tutilization\tVM hours\tresp mean\tresp sd\tviolations\tserved\tcrashes\tavail")
 	for _, r := range results {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%.4f\t%.4f\t%.1f\t%.4g\t%.3g\t%d\t%d\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.4f\t%.4f\t%.1f\t%.4g\t%.3g\t%d\t%d\t%d\t%.4f\n",
 			r.Policy, r.MinInstances, r.MaxInstances, r.RejectionRate,
 			r.Utilization, r.VMHours, r.MeanResponse, r.StdResponse,
-			r.Violations, r.Accepted)
+			r.Violations, r.Accepted, r.Crashes, r.Availability)
 	}
 	_ = w.Flush()
 	return b.String()
@@ -32,13 +32,15 @@ func FigureTable(caption string, results []metrics.Result) string {
 // ResultsCSV renders results as CSV with a header, one row per policy.
 func ResultsCSV(results []metrics.Result) string {
 	var b strings.Builder
-	b.WriteString("policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected\n")
+	b.WriteString("policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected,crashes,retries,lost,requeued,mttr_s,availability,capacity_shortfalls\n")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.3f,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.3f,%.3f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d\n",
 			r.Policy, r.MinInstances, r.MaxInstances, r.RejectionRate,
 			r.Utilization, r.VMHours, r.EnergyKWh, r.MeanResponse, r.StdResponse,
 			r.P50Response, r.P95Response, r.P99Response,
-			r.Violations, r.Accepted, r.Rejected)
+			r.Violations, r.Accepted, r.Rejected,
+			r.Crashes, r.Retries, r.RequestsLost, r.RequestsRequeued,
+			r.MTTR, r.Availability, r.CapacityShortfalls)
 	}
 	return b.String()
 }

@@ -7,7 +7,9 @@ import (
 )
 
 // tinyPanelResults is a fixed two-row panel exercising every formatted
-// column deterministically (no simulation involved).
+// column deterministically (no simulation involved). The adaptive row is
+// a faulty run (crashes, retries, an MTTR sample, degraded availability);
+// the static row is a clean one.
 func tinyPanelResults() []metrics.Result {
 	return []metrics.Result{
 		{
@@ -17,6 +19,8 @@ func tinyPanelResults() []metrics.Result {
 			P50Response: 0.213401, P95Response: 0.342211, P99Response: 0.412345,
 			MinInstances: 4, MaxInstances: 17, VMHours: 212.52, Utilization: 0.78125,
 			EnergyKWh: 12.345678,
+			Crashes:   3, Retries: 7, RequestsLost: 2, RequestsRequeued: 9,
+			CapacityShortfalls: 1, MTTR: 42.5, Availability: 0.998765,
 		},
 		{
 			Policy: "Static-15", Duration: 86400,
@@ -24,25 +28,25 @@ func tinyPanelResults() []metrics.Result {
 			RejectionRate: 0.112903, MeanResponse: 0.199102, StdResponse: 0.041777,
 			P50Response: 0.190001, P95Response: 0.280002, P99Response: 0.310003,
 			MinInstances: 15, MaxInstances: 15, VMHours: 360, Utilization: 0.403801,
-			EnergyKWh: 20.5,
+			EnergyKWh: 20.5, Availability: 1,
 		},
 	}
 }
 
 func TestFigureTableGolden(t *testing.T) {
 	want := "tiny deterministic panel\n" +
-		"policy     min inst  max inst  rejection  utilization  VM hours  resp mean  resp sd  violations  served\n" +
-		"Adaptive   4         17        0.0044     0.7812       212.5     0.2213     0.0732   2           12345\n" +
-		"Static-15  15        15        0.1129     0.4038       360.0     0.1991     0.0418   0           11000\n"
+		"policy     min inst  max inst  rejection  utilization  VM hours  resp mean  resp sd  violations  served  crashes  avail\n" +
+		"Adaptive   4         17        0.0044     0.7812       212.5     0.2213     0.0732   2           12345   3        0.9988\n" +
+		"Static-15  15        15        0.1129     0.4038       360.0     0.1991     0.0418   0           11000   0        1.0000\n"
 	if got := FigureTable("tiny deterministic panel", tinyPanelResults()); got != want {
 		t.Errorf("FigureTable changed:\ngot:\n%q\nwant:\n%q", got, want)
 	}
 }
 
 func TestResultsCSVGolden(t *testing.T) {
-	want := "policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected\n" +
-		"Adaptive,4,17,0.004435,0.781250,212.520,12.346,0.221349,0.073158,0.213401,0.342211,0.412345,2,12345,55\n" +
-		"Static-15,15,15,0.112903,0.403801,360.000,20.500,0.199102,0.041777,0.190001,0.280002,0.310003,0,11000,1400\n"
+	want := "policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected,crashes,retries,lost,requeued,mttr_s,availability,capacity_shortfalls\n" +
+		"Adaptive,4,17,0.004435,0.781250,212.520,12.346,0.221349,0.073158,0.213401,0.342211,0.412345,2,12345,55,3,7,2,9,42.500000,0.998765,1\n" +
+		"Static-15,15,15,0.112903,0.403801,360.000,20.500,0.199102,0.041777,0.190001,0.280002,0.310003,0,11000,1400,0,0,0,0,0.000000,1.000000,0\n"
 	if got := ResultsCSV(tinyPanelResults()); got != want {
 		t.Errorf("ResultsCSV changed:\ngot:\n%q\nwant:\n%q", got, want)
 	}
@@ -50,11 +54,11 @@ func TestResultsCSVGolden(t *testing.T) {
 
 func TestFormatGoldenEmpty(t *testing.T) {
 	table := FigureTable("empty", nil)
-	if table != "empty\npolicy  min inst  max inst  rejection  utilization  VM hours  resp mean  resp sd  violations  served\n" {
+	if table != "empty\npolicy  min inst  max inst  rejection  utilization  VM hours  resp mean  resp sd  violations  served  crashes  avail\n" {
 		t.Errorf("empty FigureTable changed: %q", table)
 	}
 	csv := ResultsCSV(nil)
-	if csv != "policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected\n" {
+	if csv != "policy,min_instances,max_instances,rejection_rate,utilization,vm_hours,energy_kwh,mean_response_s,sd_response_s,p50_response_s,p95_response_s,p99_response_s,violations,served,rejected,crashes,retries,lost,requeued,mttr_s,availability,capacity_shortfalls\n" {
 		t.Errorf("empty ResultsCSV changed: %q", csv)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vmprov/internal/fault"
 	"vmprov/internal/metrics"
 )
 
@@ -156,6 +157,50 @@ func PaperPanel(scenario string, scale float64, reps int, seed uint64) (PanelSpe
 		Reps:      reps,
 		Seed:      seed,
 	}, nil
+}
+
+// FaultPanel returns the built-in resilience panel: the web scenario
+// under an MTTF sweep (mean time to failure 6 h, 2 h, 30 min) with boot
+// failures, stochastic slow boots, and transient API errors layered on
+// top, run for the adaptive policy against the full static ladder. The
+// horizon is trimmed to six hours so the committed example panel sweeps
+// in seconds, and every fault draws from the per-replication "fault"
+// substream, so results are bit-identical across sweep worker counts.
+func FaultPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
+	base := fault.Spec{
+		BootFailure:    0.05,
+		BootMean:       30,
+		SlowBootProb:   0.1,
+		SlowBootFactor: 4,
+		ProvisionError: 0.05,
+		ReleaseError:   0.02,
+	}
+	mttfs := []struct {
+		name string
+		mttf float64
+	}{
+		{"web-mttf-6h", 21600},
+		{"web-mttf-2h", 7200},
+		{"web-mttf-30m", 1800},
+	}
+	ps := PanelSpec{
+		Name:     "web-fault-panel",
+		Policies: []string{"adaptive", staticWildcardName},
+		Reps:     reps,
+		Seed:     seed,
+	}
+	for _, c := range mttfs {
+		sp, err := BuildScenarioSpec("web", scale)
+		if err != nil {
+			return PanelSpec{}, err
+		}
+		sp.Name = c.name
+		sp.Horizon = 6 * 3600
+		sp.Fault = base
+		sp.Fault.MTTF = c.mttf
+		ps.Scenarios = append(ps.Scenarios, sp)
+	}
+	return ps, nil
 }
 
 // ParsePanelSpec strictly decodes a JSON panel spec: unknown fields are

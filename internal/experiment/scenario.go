@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"vmprov/internal/cloud"
+	"vmprov/internal/fault"
 	"vmprov/internal/provision"
 	"vmprov/internal/workload"
 )
@@ -38,6 +39,11 @@ type Scenario struct {
 	// Placement selects the data center's VM-to-host policy (paper
 	// default: least-loaded).
 	Placement cloud.Placement
+
+	// Fault declares injected IaaS faults (crashes, boot failures,
+	// transient API errors); the zero value is the paper's perfectly
+	// reliable cloud and adds no events and no RNG draws.
+	Fault fault.Spec
 }
 
 // scaled rounds a paper-scale fleet size to the scenario scale, at least 1.
@@ -92,6 +98,9 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Horizon <= 0 {
 		return fmt.Errorf("experiment: scenario %q has non-positive horizon", sc.Name)
+	}
+	if err := sc.Fault.Validate(); err != nil {
+		return fmt.Errorf("experiment: scenario %q: %w", sc.Name, err)
 	}
 	return sc.Cfg.Validate()
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"vmprov/internal/cloud"
+	"vmprov/internal/fault"
 	"vmprov/internal/provision"
 	"vmprov/internal/workload"
 )
@@ -36,6 +37,9 @@ type ScenarioSpec struct {
 	// least-loaded default.
 	Placement    cloud.Placement `json:"placement,omitempty"`
 	StaticFleets []int           `json:"static_fleets,omitempty"`
+	// Fault declares injected IaaS faults; omitted (zero) means the
+	// paper's perfectly reliable cloud.
+	Fault fault.Spec `json:"fault,omitzero"`
 }
 
 // Compile validates the spec and resolves it into a runnable Scenario:
@@ -62,6 +66,7 @@ func (sp ScenarioSpec) Compile() (Scenario, error) {
 		Cfg:          sp.Config,
 		StaticFleets: slices.Clone(sp.StaticFleets),
 		Placement:    sp.Placement,
+		Fault:        sp.Fault,
 		NewSource:    b.NewSource,
 	}
 	horizon := sp.Horizon

@@ -7,18 +7,20 @@ import (
 )
 
 // The committed golden spec files under examples/specs/ must stay exactly
-// what -dumpspec emits for the paper panels (scale defaults, 3 reps,
+// what -dumpspec emits for the built-in panels (scale defaults, 3 reps,
 // seed 1), reload, and compile. Regenerate with:
 //
 //	go run ./cmd/vmprovsim -dumpspec web -reps 3 -seed 1 > examples/specs/web_panel.json
 //	go run ./cmd/vmprovsim -dumpspec scientific -reps 3 -seed 1 > examples/specs/scientific_panel.json
+//	go run ./cmd/vmprovsim -dumpspec web-fault -reps 3 -seed 1 > examples/specs/web_fault_panel.json
 func TestGoldenSpecFiles(t *testing.T) {
 	cases := []struct {
-		scenario string
-		file     string
+		file string
+		want func() (PanelSpec, error)
 	}{
-		{"web", "web_panel.json"},
-		{"scientific", "scientific_panel.json"},
+		{"web_panel.json", func() (PanelSpec, error) { return PaperPanel("web", 0, 3, 1) }},
+		{"scientific_panel.json", func() (PanelSpec, error) { return PaperPanel("scientific", 0, 3, 1) }},
+		{"web_fault_panel.json", func() (PanelSpec, error) { return FaultPanel(0, 3, 1) }},
 	}
 	for _, c := range cases {
 		path := filepath.Join("..", "..", "examples", "specs", c.file)
@@ -33,7 +35,7 @@ func TestGoldenSpecFiles(t *testing.T) {
 		if err := spec.Validate(); err != nil {
 			t.Fatalf("%s does not compile: %v", c.file, err)
 		}
-		want, err := PaperPanel(c.scenario, 0, 3, 1)
+		want, err := c.want()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"vmprov/internal/cloud"
+	"vmprov/internal/fault"
 	"vmprov/internal/metrics"
 	"vmprov/internal/provision"
 	"vmprov/internal/sim"
@@ -67,7 +68,20 @@ func (rc *RunContext) Run(sc Scenario, pol Policy, seed uint64, opts RunOptions)
 	dc.SetPlacement(sc.Placement)
 	col.Reset(sc.Cfg.QoS.Ts)
 	col.TrackSeries = opts.TrackSeries
-	p := provision.NewProvisioner(s, dc, sc.Cfg, col)
+	rng := stats.NewRNG(seed)
+	var provider cloud.Provider = dc
+	var fm provision.FaultModel
+	if !sc.Fault.IsZero() {
+		// Faults draw from their own substream — a pure function of
+		// (seed, "fault") — so enabling them leaves the workload stream,
+		// and therefore the arrival process, untouched.
+		inj := fault.New(dc, sc.Fault, rng.Split("fault"))
+		provider, fm = inj, inj
+	}
+	p := provision.NewProvisioner(s, provider, sc.Cfg, col)
+	if fm != nil {
+		p.SetFaultModel(fm)
+	}
 
 	if opts.Tracer != nil {
 		p.SetTracer(opts.Tracer)
@@ -86,7 +100,7 @@ func (rc *RunContext) Run(sc Scenario, pol Policy, seed uint64, opts RunOptions)
 			p.Submit(q)
 		}
 	}
-	src.Start(s, stats.NewRNG(seed), emit)
+	src.Start(s, rng, emit)
 
 	s.RunUntil(sc.Horizon)
 	p.Shutdown(sc.Horizon)

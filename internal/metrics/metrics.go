@@ -38,6 +38,18 @@ type Collector struct {
 	vmSeconds   float64 // Σ lifetimes of finalized instances
 	busySeconds float64 // Σ busy time of finalized instances
 
+	// Failure accounting (the fault-injection extension; all zero in
+	// fault-free runs).
+	crashes     uint64             // instance crashes, including failed boots
+	retries     uint64             // executed provision/release retry attempts
+	lost        uint64             // in-service requests killed by a crash
+	requeued    uint64             // waiting requests re-submitted after a crash
+	shortfalls  uint64             // scale-up attempts the IaaS could not satisfy
+	repairs     uint64             // closed crash-repair episodes
+	repairSum   float64            // Σ crash-to-replacement-active seconds
+	deficit     stats.TimeWeighted // target-deficit fraction over time
+	deficitSeen bool
+
 	// Optional time series of the running-instance count, for plotting.
 	TrackSeries bool
 	Series      []SeriesPoint
@@ -102,6 +114,10 @@ func (c *Collector) Reset(ts float64) {
 	c.instances = stats.TimeWeighted{}
 	c.everScaled = false
 	c.vmSeconds, c.busySeconds = 0, 0
+	c.crashes, c.retries, c.lost, c.requeued, c.shortfalls = 0, 0, 0, 0, 0
+	c.repairs, c.repairSum = 0, 0
+	c.deficit = stats.TimeWeighted{}
+	c.deficitSeen = false
 	c.TrackSeries = false
 	c.Series = c.Series[:0]
 }
@@ -165,6 +181,43 @@ func (c *Collector) InstanceRetired(lifetime, busy float64) {
 	c.busySeconds += busy
 }
 
+// Crash records one instance failure: an injected VM crash or a boot
+// that never came up.
+func (c *Collector) Crash() { c.crashes++ }
+
+// Retry records one executed retry attempt of a failed IaaS operation
+// (a re-provision after an error, or a re-release of a stuck VM).
+func (c *Collector) Retry() { c.retries++ }
+
+// Lost records an in-service request killed by its instance crashing. A
+// lost request counts toward the offered load (the rejection-rate
+// denominator) but is neither accepted nor rejected.
+func (c *Collector) Lost() { c.lost++ }
+
+// Requeue records one waiting request re-submitted to the surviving pool
+// after its instance crashed. The re-submission itself is then accounted
+// as a fresh accept or reject.
+func (c *Collector) Requeue() { c.requeued++ }
+
+// CapacityShortfall records one scale-up attempt the IaaS could not
+// satisfy (no host capacity, or the MaxVMs contract ceiling).
+func (c *Collector) CapacityShortfall() { c.shortfalls++ }
+
+// RepairDone closes one crash-repair episode: d seconds elapsed between
+// an instance crash and a replacement becoming active. Feeds MTTR.
+func (c *Collector) RepairDone(d float64) {
+	c.repairs++
+	c.repairSum += d
+}
+
+// SetDeficit records the fleet's target-deficit fraction at time t:
+// max(0, target−committed)/target, the share of contracted capacity
+// currently missing. Its time-weighted average defines unavailability.
+func (c *Collector) SetDeficit(t, frac float64) {
+	c.deficit.Set(t, frac)
+	c.deficitSeen = true
+}
+
 // Result produces the final metrics for a run that ended at time end.
 type Result struct {
 	Policy   string  // label, e.g. "Adaptive" or "Static-100"
@@ -192,6 +245,15 @@ type Result struct {
 	Utilization  float64 // busy seconds / VM seconds
 	EnergyKWh    float64 // data-center energy, when metering is enabled
 
+	// Resilience metrics (all zero / Availability 1 in fault-free runs).
+	Crashes            uint64  // instance failures (VM crashes + failed boots)
+	Retries            uint64  // executed provision/release retry attempts
+	RequestsLost       uint64  // in-service requests killed by crashes
+	RequestsRequeued   uint64  // waiting requests re-submitted after crashes
+	CapacityShortfalls uint64  // scale-up attempts the IaaS could not satisfy
+	MTTR               float64 // mean crash → replacement-active seconds (0 if no repair closed)
+	Availability       float64 // 1 − time-weighted target-deficit fraction
+
 	Events uint64 // kernel events executed during the run (throughput accounting)
 }
 
@@ -199,16 +261,28 @@ type Result struct {
 // retired every instance (see InstanceRetired).
 func (c *Collector) Result(policy string, end float64) Result {
 	r := Result{
-		Policy:         policy,
-		Duration:       end,
-		Accepted:       c.accepted,
-		Rejected:       c.rejected,
-		Violations:     c.violated,
-		DeadlineMisses: c.missed,
-		MeanResponse:   c.responses.Mean(),
-		StdResponse:    c.responses.Std(),
-		MaxResponse:    c.responses.Max(),
-		VMHours:        c.vmSeconds / 3600,
+		Policy:             policy,
+		Duration:           end,
+		Accepted:           c.accepted,
+		Rejected:           c.rejected,
+		Violations:         c.violated,
+		DeadlineMisses:     c.missed,
+		MeanResponse:       c.responses.Mean(),
+		StdResponse:        c.responses.Std(),
+		MaxResponse:        c.responses.Max(),
+		VMHours:            c.vmSeconds / 3600,
+		Crashes:            c.crashes,
+		Retries:            c.retries,
+		RequestsLost:       c.lost,
+		RequestsRequeued:   c.requeued,
+		CapacityShortfalls: c.shortfalls,
+		Availability:       1,
+	}
+	if c.repairs > 0 {
+		r.MTTR = c.repairSum / float64(c.repairs)
+	}
+	if c.deficitSeen {
+		r.Availability = 1 - c.deficit.Average(end)
 	}
 	if c.accepted > 0 {
 		r.MeanExec = c.execSum / float64(c.accepted)
@@ -219,7 +293,10 @@ func (c *Collector) Result(policy string, end float64) Result {
 		r.P95Response = c.respHist.Quantile(0.95)
 		r.P99Response = c.respHist.Quantile(0.99)
 	}
-	if offered := c.accepted + c.rejected; offered > 0 {
+	// Lost requests were offered but neither served nor rejected; they
+	// belong in the denominator so a crashy run cannot report a better
+	// rejection rate than a clean one.
+	if offered := c.accepted + c.rejected + c.lost; offered > 0 {
 		r.RejectionRate = float64(c.rejected) / float64(offered)
 	}
 	if c.everScaled {
@@ -287,6 +364,12 @@ func (r Result) String() string {
 	fmt.Fprintf(&b, " resp=%.4gs±%.2g", r.MeanResponse, r.StdResponse)
 	fmt.Fprintf(&b, " viol=%d", r.Violations)
 	fmt.Fprintf(&b, " served=%d", r.Accepted)
+	// Resilience columns appear only when the run actually saw faults, so
+	// fault-free output keeps its historical shape.
+	if r.Crashes > 0 || r.RequestsLost > 0 || r.Retries > 0 {
+		fmt.Fprintf(&b, " crashes=%d lost=%d requeued=%d retries=%d mttr=%.3gs avail=%.4f",
+			r.Crashes, r.RequestsLost, r.RequestsRequeued, r.Retries, r.MTTR, r.Availability)
+	}
 	return b.String()
 }
 
@@ -303,6 +386,7 @@ func Aggregate(results []Result) Result {
 	var minI, maxI, avgI, vmh, util, rej, resp, std, exec, wait, energy float64
 	var p50, p95, p99, maxResp float64
 	var acc, rejN, vio, ddl, evs float64
+	var crash, retr, lost, requeue, shortfall, mttr, avail float64
 	for _, r := range results {
 		minI += float64(r.MinInstances)
 		maxI += float64(r.MaxInstances)
@@ -323,6 +407,13 @@ func Aggregate(results []Result) Result {
 		vio += float64(r.Violations)
 		ddl += float64(r.DeadlineMisses)
 		evs += float64(r.Events)
+		crash += float64(r.Crashes)
+		retr += float64(r.Retries)
+		lost += float64(r.RequestsLost)
+		requeue += float64(r.RequestsRequeued)
+		shortfall += float64(r.CapacityShortfalls)
+		mttr += r.MTTR
+		avail += r.Availability
 		if r.MaxResponse > maxResp {
 			maxResp = r.MaxResponse
 		}
@@ -347,5 +438,12 @@ func Aggregate(results []Result) Result {
 	agg.Violations = uint64(vio / n)
 	agg.DeadlineMisses = uint64(ddl / n)
 	agg.Events = uint64(evs / n)
+	agg.Crashes = uint64(crash / n)
+	agg.Retries = uint64(retr / n)
+	agg.RequestsLost = uint64(lost / n)
+	agg.RequestsRequeued = uint64(requeue / n)
+	agg.CapacityShortfalls = uint64(shortfall / n)
+	agg.MTTR = mttr / n
+	agg.Availability = avail / n
 	return agg
 }

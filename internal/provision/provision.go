@@ -7,7 +7,9 @@
 package provision
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"slices"
 
 	"vmprov/internal/app"
@@ -50,6 +52,73 @@ type Config struct {
 	// a deadline miss ((queue+1)·Tm past the request's deadline) and
 	// reject requests no instance can finish in time.
 	DeadlineAware bool `json:"deadline_aware,omitempty"`
+
+	// Retry shapes the self-healing re-provisioning loop; the zero value
+	// (omitted from JSON) selects the defaults, so base scenario specs
+	// are unchanged.
+	Retry RetryPolicy `json:"retry,omitzero"`
+}
+
+// RetryPolicy parameterizes the capped-exponential-backoff loop that
+// re-attempts failed provisions: after a Provision error the provisioner
+// schedules a retry event InitialBackoff seconds out, doubling (by
+// Multiplier) up to MaxBackoff on each consecutive failure, and gives up
+// after MaxAttempts consecutive failures until the next scaling decision
+// or crash. Retries are simulated events on the virtual clock, never spin
+// loops, so a fault-free run schedules none and stays bit-identical to
+// the pre-retry provisioner.
+type RetryPolicy struct {
+	InitialBackoff float64 `json:"initial_backoff,omitempty"` // seconds; default 1
+	MaxBackoff     float64 `json:"max_backoff,omitempty"`     // seconds; default 64
+	Multiplier     float64 `json:"multiplier,omitempty"`      // default 2
+	MaxAttempts    int     `json:"max_attempts,omitempty"`    // default 10; -1 = retry forever
+}
+
+// withDefaults resolves zero fields to the default policy.
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.InitialBackoff == 0 {
+		rp.InitialBackoff = 1
+	}
+	if rp.MaxBackoff == 0 {
+		rp.MaxBackoff = 64
+	}
+	if rp.Multiplier == 0 {
+		rp.Multiplier = 2
+	}
+	if rp.MaxAttempts == 0 {
+		rp.MaxAttempts = 10
+	}
+	return rp
+}
+
+// validate reports retry-policy errors (zero fields are legal: they mean
+// "use the default").
+func (rp RetryPolicy) validate() error {
+	if rp.InitialBackoff < 0 || math.IsNaN(rp.InitialBackoff) || math.IsInf(rp.InitialBackoff, 0) {
+		return fmt.Errorf("provision: Retry.InitialBackoff %v must be a finite non-negative number", rp.InitialBackoff)
+	}
+	if rp.MaxBackoff < 0 || math.IsNaN(rp.MaxBackoff) || math.IsInf(rp.MaxBackoff, 0) {
+		return fmt.Errorf("provision: Retry.MaxBackoff %v must be a finite non-negative number", rp.MaxBackoff)
+	}
+	if rp.Multiplier != 0 && rp.Multiplier < 1 || math.IsNaN(rp.Multiplier) || math.IsInf(rp.Multiplier, 0) {
+		return fmt.Errorf("provision: Retry.Multiplier %v must be at least 1 (or 0 for the default)", rp.Multiplier)
+	}
+	if rp.MaxAttempts < -1 {
+		return fmt.Errorf("provision: Retry.MaxAttempts %d must be -1 (unlimited), 0 (default), or positive", rp.MaxAttempts)
+	}
+	return nil
+}
+
+// FaultModel is the provisioning layer's view of an injected fault
+// environment (implemented by fault.Injector). A nil model — the default
+// — means a perfectly reliable IaaS, the paper's assumption.
+type FaultModel interface {
+	// CrashAfter samples the time-to-failure of a freshly provisioned
+	// VM; ok is false when crashes are disabled.
+	CrashAfter() (delay float64, ok bool)
+	// Boot samples one instance's boot delay (given the configured base
+	// delay) and whether the boot ultimately fails.
+	Boot(base float64) (delay float64, fail bool)
 }
 
 // Validate reports configuration errors.
@@ -75,7 +144,7 @@ func (c Config) Validate() error {
 	if c.BootDelay < 0 {
 		return fmt.Errorf("provision: BootDelay must be non-negative, got %v", c.BootDelay)
 	}
-	return nil
+	return c.Retry.validate()
 }
 
 // Provisioner is the application provisioner: the single point of contact
@@ -111,6 +180,19 @@ type Provisioner struct {
 	// not satisfy (ErrNoCapacity or the MaxVMs ceiling).
 	CapacityShortfalls int
 
+	// Self-healing state. fm is the injected fault environment (nil = a
+	// perfectly reliable IaaS). retry is the resolved backoff policy; one
+	// pending retry event at a time re-attempts failed provisions with
+	// capped exponential backoff. repairT holds the open crash-repair
+	// episodes (crash times awaiting a replacement activation) feeding
+	// the MTTR metric.
+	fm           FaultModel
+	retry        RetryPolicy
+	retryEv      sim.Event
+	retryBackoff float64
+	retryFails   int
+	repairT      []float64
+
 	// onServed, when set, observes every completion after the built-in
 	// accounting — the hook composite pipelines chain stages with.
 	onServed func(app.Completion)
@@ -142,8 +224,14 @@ func NewProvisioner(s *sim.Sim, dc cloud.Provider, cfg Config, col *metrics.Coll
 		k:       queueing.QueueSize(cfg.QoS.Ts, cfg.NominalTr),
 		col:     col,
 		monitor: stats.NewWindow(cfg.MonitorWindow),
+		retry:   cfg.Retry.withDefaults(),
 	}
 }
+
+// SetFaultModel wires an injected fault environment (boot behavior and
+// crash lifetimes). Call before the clock starts; nil (the default)
+// models the paper's perfectly reliable IaaS.
+func (p *Provisioner) SetFaultModel(fm FaultModel) { p.fm = fm }
 
 // K returns the per-instance queue capacity k = ⌊Ts/Tr⌋.
 func (p *Provisioner) K() int { return p.k }
@@ -313,12 +401,18 @@ func (p *Provisioner) retire(in *app.Instance) {
 	case app.Draining:
 		p.numDraining--
 	}
+	p.sim.Cancel(in.CrashEv) // an instance retired on purpose cannot crash later
 	in.Destroy()
 	now := p.sim.Now()
-	if err := p.dc.Release(now, in.VM.ID); err != nil {
-		panic(err) // a VM we provisioned must be releasable
-	}
+	p.releaseVM(in.VM.ID)
 	p.col.InstanceRetired(in.Lifetime(now), in.BusyTime)
+	p.removeInstance(in)
+	p.col.SetInstances(now, len(p.instances))
+}
+
+// removeInstance drops in from the live-instance slice and normalizes the
+// round-robin cursor.
+func (p *Provisioner) removeInstance(in *app.Instance) {
 	for i, other := range p.instances {
 		if other == in {
 			p.instances = append(p.instances[:i], p.instances[i+1:]...)
@@ -328,7 +422,49 @@ func (p *Provisioner) retire(in *app.Instance) {
 	if p.rr >= len(p.instances) {
 		p.rr = 0
 	}
-	p.col.SetInstances(now, len(p.instances))
+}
+
+// releaseVM returns a VM to the provider, retrying transient API errors
+// with capped exponential backoff (a stuck release keeps the VM — and its
+// capacity — allocated until a retry lands, exactly like a real cloud).
+// Non-transient errors still panic: a VM we provisioned must be known.
+func (p *Provisioner) releaseVM(id int) {
+	err := p.dc.Release(p.sim.Now(), id)
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, cloud.ErrTransient) {
+		panic(err)
+	}
+	p.sim.ScheduleFunc(p.retry.InitialBackoff, retryRelease, &releaseRetry{
+		p: p, id: id, backoff: p.retry.InitialBackoff,
+	})
+}
+
+// releaseRetry carries one stuck Release through its backoff chain.
+type releaseRetry struct {
+	p       *Provisioner
+	id      int
+	backoff float64
+}
+
+// retryRelease re-attempts a failed Release; on another transient error
+// it reschedules itself with doubled (capped) backoff. Release retries
+// are never bounded by MaxAttempts: the VM must come back eventually, and
+// holding it leaked would silently shrink the data center.
+func retryRelease(a any) {
+	rr := a.(*releaseRetry)
+	p := rr.p
+	p.col.Retry()
+	err := p.dc.Release(p.sim.Now(), rr.id)
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, cloud.ErrTransient) {
+		panic(err)
+	}
+	rr.backoff = min(rr.backoff*p.retry.Multiplier, p.retry.MaxBackoff)
+	p.sim.ScheduleFunc(rr.backoff, retryRelease, rr)
 }
 
 // SetTarget grows or shrinks the committed pool to m instances,
@@ -344,6 +480,9 @@ func (p *Provisioner) SetTarget(m int) {
 		m = p.cfg.MaxVMs
 	}
 	p.target = m
+	// A fresh scaling decision supersedes any pending re-provision retry
+	// and restarts its backoff schedule; scaleUp re-arms it if needed.
+	p.cancelRetry()
 	committed := p.Committed()
 	switch {
 	case m > committed:
@@ -351,6 +490,8 @@ func (p *Provisioner) SetTarget(m int) {
 	case m < committed:
 		p.scaleDown(committed - m)
 	}
+	p.trimRepairs()
+	p.noteDeficit()
 	p.col.SetInstances(p.sim.Now(), len(p.instances))
 	if p.tracer != nil {
 		p.tracer.Record(trace.Event{
@@ -365,7 +506,7 @@ func (p *Provisioner) scaleUp(need int) {
 	// still processing requests.
 	for _, in := range p.instances {
 		if need == 0 {
-			return
+			break
 		}
 		if in.State() == app.Draining {
 			in.Reactivate()
@@ -379,30 +520,114 @@ func (p *Provisioner) scaleUp(need int) {
 	}
 	// Then provision new VMs, bounded by the data center capacity and the
 	// MaxVMs contract (enforced by the caller's clamp on m).
-	for ; need > 0; need-- {
-		if len(p.instances) >= p.cfg.MaxVMs {
-			p.CapacityShortfalls++
+	for need > 0 {
+		ok, retryable := p.provisionOne()
+		if !ok {
+			if retryable {
+				p.scheduleRetry()
+			}
 			return
 		}
-		vm, err := p.dc.Provision(p.sim.Now(), p.cfg.VMSpec)
-		if err != nil {
+		need--
+	}
+	// The pool reached its target; a pending retry (and its accumulated
+	// backoff history) is obsolete.
+	p.cancelRetry()
+}
+
+// provisionOne provisions and registers a single instance. ok reports
+// success; retryable distinguishes a Provision error (the data center or
+// the API may recover, so the self-healing loop should retry) from the
+// MaxVMs contract ceiling (a hard limit no retry can lift).
+func (p *Provisioner) provisionOne() (ok, retryable bool) {
+	if len(p.instances) >= p.cfg.MaxVMs {
+		p.CapacityShortfalls++
+		p.col.CapacityShortfall()
+		return false, false
+	}
+	vm, err := p.dc.Provision(p.sim.Now(), p.cfg.VMSpec)
+	if err != nil {
+		// A transient API error is a fault, not a shortfall: the data
+		// center had room, the control plane just dropped the call.
+		if !errors.Is(err, cloud.ErrTransient) {
 			p.CapacityShortfalls++
-			return
+			p.col.CapacityShortfall()
 		}
-		in := app.NewInstance(p.sim, vm, p.k, p.onComplete)
-		p.instances = append(p.instances, in)
-		p.numBooting++
-		if p.cfg.BootDelay > 0 {
-			p.sim.ScheduleFunc(p.cfg.BootDelay, activateBooted, &bootEvent{p: p, in: in})
-		} else {
-			p.activate(in)
+		return false, true
+	}
+	in := app.NewInstance(p.sim, vm, p.k, p.onComplete)
+	p.instances = append(p.instances, in)
+	p.numBooting++
+	delay, bootFail := p.cfg.BootDelay, false
+	if p.fm != nil {
+		if d, crashes := p.fm.CrashAfter(); crashes {
+			in.CrashEv = p.sim.ScheduleFunc(d, crashInstance,
+				&faultEvent{p: p, in: in, epoch: in.Epoch()})
 		}
+		delay, bootFail = p.fm.Boot(p.cfg.BootDelay)
+	}
+	if delay > 0 || bootFail {
+		p.sim.ScheduleFunc(delay, activateBooted,
+			&bootEvent{p: p, in: in, epoch: in.Epoch(), fail: bootFail})
+	} else {
+		p.activate(in)
+	}
+	return true, false
+}
+
+// scheduleRetry arms the self-healing retry event after a failed
+// provision: one pending event at a time, with capped exponential backoff
+// across consecutive failures, giving up after MaxAttempts until the next
+// scaling decision or crash resets the schedule.
+func (p *Provisioner) scheduleRetry() {
+	if !p.retryEv.Canceled() {
+		return // a retry is already pending
+	}
+	if p.retry.MaxAttempts >= 0 && p.retryFails >= p.retry.MaxAttempts {
+		return
+	}
+	p.retryFails++
+	if p.retryBackoff == 0 {
+		p.retryBackoff = p.retry.InitialBackoff
+	} else {
+		p.retryBackoff = min(p.retryBackoff*p.retry.Multiplier, p.retry.MaxBackoff)
+	}
+	p.retryEv = p.sim.ScheduleFunc(p.retryBackoff, provisionRetry, p)
+}
+
+// cancelRetry drops any pending retry and resets the backoff schedule.
+func (p *Provisioner) cancelRetry() {
+	p.sim.Cancel(p.retryEv)
+	p.retryEv = sim.Event{}
+	p.retryFails = 0
+	p.retryBackoff = 0
+}
+
+// provisionRetry is the retry event: re-attempt healing the pool back to
+// its target. A renewed failure re-arms the event with doubled backoff
+// through scaleUp.
+func provisionRetry(a any) {
+	p := a.(*Provisioner)
+	p.retryEv = sim.Event{}
+	p.col.Retry()
+	p.heal()
+	p.noteDeficit()
+}
+
+// heal grows the pool back toward the current target, e.g. after a crash
+// or a failed provision. Unlike SetTarget it runs outside any scaling
+// decision, so it refreshes the instance-count series itself.
+func (p *Provisioner) heal() {
+	if d := p.target - p.Committed(); d > 0 {
+		p.scaleUp(d)
+		p.col.SetInstances(p.sim.Now(), len(p.instances))
 	}
 }
 
 // activate flips a Booting instance to Active and maintains the state
 // counters. A freshly booted instance is empty, so it always contributes
-// a free slot.
+// a free slot. An activation also closes the oldest open crash-repair
+// episode: the fleet regained one committed instance.
 func (p *Provisioner) activate(in *app.Instance) {
 	in.Activate()
 	p.numBooting--
@@ -410,23 +635,126 @@ func (p *Provisioner) activate(in *app.Instance) {
 	if !in.Full() {
 		p.activeFree++
 	}
+	if len(p.repairT) > 0 {
+		p.col.RepairDone(p.sim.Now() - p.repairT[0])
+		p.repairT = p.repairT[1:]
+	}
+	p.noteDeficit()
 }
 
 // bootEvent carries the provisioner alongside the instance through the
-// boot-delay event; allocated only on the non-default BootDelay>0 path.
+// boot-delay event; allocated only on the BootDelay>0 or fault-injected
+// paths. The epoch pins the instance lifecycle the event belongs to.
 type bootEvent struct {
-	p  *Provisioner
-	in *app.Instance
+	p     *Provisioner
+	in    *app.Instance
+	epoch uint32
+	fail  bool
 }
 
 // activateBooted flips an instance that is still booting to Active when
-// its boot delay elapses; scale-downs may have retired it in the
-// meantime. Shared across events so boot scheduling does not allocate
-// beyond the bootEvent itself.
+// its boot delay elapses; scale-downs or crashes may have retired it in
+// the meantime (the epoch check makes a stale event inert even if the
+// slot was since reused), and an injected boot failure kills it instead.
 func activateBooted(a any) {
 	be := a.(*bootEvent)
-	if be.in.State() == app.Booting {
-		be.p.activate(be.in)
+	if be.in.State() != app.Booting || be.in.Epoch() != be.epoch {
+		return
+	}
+	if be.fail {
+		be.p.crash(be.in)
+		return
+	}
+	be.p.activate(be.in)
+}
+
+// faultEvent carries an injected crash through the event queue; the epoch
+// pins the instance lifecycle it was sampled for.
+type faultEvent struct {
+	p     *Provisioner
+	in    *app.Instance
+	epoch uint32
+}
+
+// crashInstance fires an injected VM crash, unless the instance already
+// left service (retired or crashed) before its sampled failure time.
+func crashInstance(a any) {
+	fe := a.(*faultEvent)
+	if fe.in.State() == app.Destroyed || fe.in.Epoch() != fe.epoch {
+		return
+	}
+	fe.p.crash(fe.in)
+}
+
+// crash kills a live instance right now: the request in service (if any)
+// is lost, waiting requests are re-queued through admission control, the
+// VM is released, and — when the death cost committed capacity — a repair
+// episode opens and the pool heals back toward its target.
+func (p *Provisioner) crash(in *app.Instance) {
+	now := p.sim.Now()
+	st := in.State()
+	switch st {
+	case app.Booting:
+		p.numBooting--
+	case app.Active:
+		p.numActive--
+		if !in.Full() {
+			p.activeFree--
+		}
+	case app.Draining:
+		p.numDraining--
+	}
+	p.sim.Cancel(in.CrashEv) // no-op when this crash IS that event
+	_, wasBusy, queued := in.Crash(now)
+	p.col.Crash()
+	if wasBusy {
+		p.col.Lost()
+	}
+	p.col.InstanceRetired(in.Lifetime(now), in.BusyTime)
+	p.releaseVM(in.VM.ID)
+	p.removeInstance(in)
+	p.col.SetInstances(now, len(p.instances))
+	if p.tracer != nil {
+		p.tracer.Record(trace.Event{
+			T: now, Kind: trace.KindCrash, Inst: in.VM.ID, Count: len(queued),
+		})
+	}
+	if st != app.Draining {
+		// A draining instance was on its way out anyway: its death costs
+		// no committed capacity and opens no repair episode.
+		p.repairT = append(p.repairT, now)
+	}
+	// The crash resets the give-up state: even after MaxAttempts failed
+	// retries the provisioner must try to replace a freshly dead VM.
+	p.cancelRetry()
+	p.heal()
+	for _, q := range queued {
+		p.col.Requeue()
+		p.Submit(q)
+	}
+	p.trimRepairs()
+	p.noteDeficit()
+}
+
+// noteDeficit records the committed-capacity deficit fraction feeding the
+// availability metric: 0 when the fleet meets its target, up to 1 when
+// nothing of the target is committed.
+func (p *Provisioner) noteDeficit() {
+	frac := 0.0
+	if d := p.target - p.Committed(); d > 0 && p.target > 0 {
+		frac = float64(d) / float64(p.target)
+	}
+	p.col.SetDeficit(p.sim.Now(), frac)
+}
+
+// trimRepairs closes (without an MTTR sample) open repair episodes that
+// can no longer be matched by a future activation — more open episodes
+// than booting instances plus the remaining target deficit means a
+// scale-down absorbed the loss instead of a replacement.
+func (p *Provisioner) trimRepairs() {
+	expect := p.numBooting + max(0, p.target-p.Committed())
+	for len(p.repairT) > expect {
+		p.repairT = p.repairT[1:]
 	}
 }
 

@@ -41,6 +41,18 @@ func Markdown(m Meta, results []metrics.Result, series []metrics.SeriesPoint) st
 	}
 	b.WriteString("\n")
 
+	if anyFaults(results) {
+		b.WriteString("## Resilience\n\n")
+		b.WriteString("| policy | crashes | lost | requeued | retries | MTTR | availability |\n")
+		b.WriteString("|---|---|---|---|---|---|---|\n")
+		for _, r := range results {
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %s | %.4f%% |\n",
+				r.Policy, r.Crashes, r.RequestsLost, r.RequestsRequeued,
+				r.Retries, fmtDuration(r.MTTR), 100*r.Availability)
+		}
+		b.WriteString("\n")
+	}
+
 	if len(results) > 1 {
 		b.WriteString("## Headline\n\n")
 		b.WriteString(headline(results))
@@ -53,6 +65,17 @@ func Markdown(m Meta, results []metrics.Result, series []metrics.SeriesPoint) st
 		b.WriteString("\n```\n")
 	}
 	return b.String()
+}
+
+// anyFaults reports whether any result saw fault activity; a fault-free
+// report keeps its pre-fault layout.
+func anyFaults(results []metrics.Result) bool {
+	for _, r := range results {
+		if r.Crashes > 0 || r.RequestsLost > 0 || r.Retries > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // headline compares the first result (by convention the adaptive policy)

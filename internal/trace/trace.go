@@ -22,6 +22,7 @@ const (
 	KindComplete  Kind = "complete"
 	KindScale     Kind = "scale"
 	KindInstance  Kind = "instance"
+	KindCrash     Kind = "crash"
 	KindPredict   Kind = "predict"
 	KindUserNoted Kind = "note"
 )

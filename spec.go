@@ -3,6 +3,8 @@ package vmprov
 import (
 	"vmprov/internal/cloud"
 	"vmprov/internal/experiment"
+	"vmprov/internal/fault"
+	"vmprov/internal/provision"
 	"vmprov/internal/workload"
 )
 
@@ -35,6 +37,13 @@ type (
 	ModulatedWorkloadParams = workload.ModulatedParams
 	// TraceWorkloadParams parameterize the "trace" (rate-replay) kind.
 	TraceWorkloadParams = workload.TraceParams
+	// FaultSpec declares injected IaaS faults (crashes, boot failures,
+	// transient API errors) for a scenario; the zero value is the
+	// paper's perfectly reliable cloud.
+	FaultSpec = fault.Spec
+	// RetryPolicy shapes the provisioner's self-healing retry/backoff
+	// loop; the zero value selects the defaults.
+	RetryPolicy = provision.RetryPolicy
 )
 
 // StaticWildcard is the panel policy token ("static:*") expanding to a
@@ -53,6 +62,13 @@ func SciSpec(scale float64) ScenarioSpec { return experiment.SciSpec(scale) }
 // the adaptive policy against the full static baseline ladder.
 func PaperPanel(scenario string, scale float64, reps int, seed uint64) (PanelSpec, error) {
 	return experiment.PaperPanel(scenario, scale, reps, seed)
+}
+
+// FaultPanel returns the built-in resilience panel: the web scenario
+// under an MTTF sweep with boot failures, slow boots, and transient API
+// errors, for the adaptive policy against the static ladder.
+func FaultPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
+	return experiment.FaultPanel(scale, reps, seed)
 }
 
 // ParsePanelSpec strictly decodes a JSON panel spec (unknown fields are
