@@ -11,9 +11,9 @@ SWEEPOUT  ?= BENCH_sweep.json
 SWEEPTMP  ?= /tmp/BENCH_sweep_fresh.json
 SPECTMP   ?= /tmp/vmprov_spec_smoke.json
 
-.PHONY: ci fmt vet build test race sweep-race fault-smoke fuzz bench-smoke sweep-smoke spec-roundtrip bench bench-sweep bench-compare golden
+.PHONY: ci fmt vet lint build test race sweep-race fault-smoke fuzz bench-smoke sweep-smoke spec-roundtrip bench bench-sweep bench-compare golden
 
-ci: fmt vet build race sweep-race fault-smoke fuzz bench-smoke sweep-smoke spec-roundtrip
+ci: fmt vet lint build race sweep-race fault-smoke fuzz bench-smoke sweep-smoke spec-roundtrip
 
 # gofmt cleanliness gate: fail (and list the files) if any tracked Go
 # source is not gofmt-formatted.
@@ -25,6 +25,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# vmprovlint: the project's determinism and correctness multichecker
+# (simclock, seededrand, maporder, errcmp, hotclosure + lite
+# nilness/shadow/copylocks). One gate over the whole tree; suppress a
+# finding case by case with `//vmprov:allow <analyzer> -- <reason>`.
+lint:
+	$(GO) run ./cmd/vmprovlint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vmprov"
+)
+
+// TestDumpSpecUnknownScenario pins the -dumpspec error contract: an
+// unknown panel name must list every registered scenario name in sorted
+// order plus the CLI-only panel names, so the user can correct the typo
+// without reading source.
+func TestDumpSpecUnknownScenario(t *testing.T) {
+	err := dumpSpec(io.Discard, "definitely-not-a-scenario", 0, 1, 1)
+	if err == nil {
+		t.Fatal("dumpSpec accepted an unknown scenario name")
+	}
+	msg := err.Error()
+
+	names := vmprov.ScenarioNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("ScenarioNames() is not sorted: %v", names)
+	}
+	if joined := strings.Join(names, ", "); !strings.Contains(msg, joined) {
+		t.Errorf("error %q does not list the sorted scenario registry %q", msg, joined)
+	}
+	for _, extra := range []string{`"all"`, `"web-fault"`} {
+		if !strings.Contains(msg, extra) {
+			t.Errorf("error %q does not mention the CLI panel name %s", msg, extra)
+		}
+	}
+}
+
+// TestRunSpecFileUnknownPolicy pins the -spec error contract: a spec
+// naming an unregistered policy must fail with the sorted policy
+// registry in the message.
+func TestRunSpecFileUnknownPolicy(t *testing.T) {
+	spec, err := vmprov.PaperPanel("web", 0.1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Policies = []string{"definitely-not-a-policy"}
+	data, err := spec.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = runSpecFile(path, 0, false)
+	if err == nil {
+		t.Fatal("runSpecFile accepted a spec with an unknown policy")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"definitely-not-a-policy"`) {
+		t.Errorf("error %q does not name the offending policy", msg)
+	}
+	names := vmprov.PolicyNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("PolicyNames() is not sorted: %v", names)
+	}
+	if joined := strings.Join(names, ", "); !strings.Contains(msg, joined) {
+		t.Errorf("error %q does not list the sorted policy registry %q", msg, joined)
+	}
+}

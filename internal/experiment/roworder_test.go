@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestPanelRowOrderStable pins the presentation-order guarantee the CSV
+// and figure-table outputs rest on: two independent compilations and
+// runs of the same panel spec — at different sweep worker counts — must
+// render byte-identical CSV blocks and figure tables. Any map-ordered
+// iteration sneaking into panel compilation, sweep result placement, or
+// aggregation shows up here as a row-order (or value) diff.
+func TestPanelRowOrderStable(t *testing.T) {
+	spec := func() PanelSpec {
+		sp, err := BuildScenarioSpec("web", 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp.Horizon = 1800
+		return PanelSpec{
+			Name:      "row-order-panel",
+			Scenarios: []ScenarioSpec{sp},
+			Policies:  []string{"adaptive", "static:10", "static:5"},
+			Reps:      2,
+			Seed:      7,
+		}
+	}
+
+	render := func(workers int) (string, string) {
+		panel, err := spec().Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := panel.Run(SweepOptions{Workers: workers})
+		if len(results) != 1 {
+			t.Fatalf("panel produced %d scenario result sets, want 1", len(results))
+		}
+		csv := ResultsCSV(results[0].Results)
+		table := FigureTable(FigureCaption(spec().Name, panel.Scenarios[0], 2), results[0].Results)
+		return csv, table
+	}
+
+	csv1, table1 := render(1)
+	csv4, table4 := render(4)
+	if csv1 != csv4 {
+		t.Errorf("CSV differs across runs/worker counts:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", csv1, csv4)
+	}
+	if table1 != table4 {
+		t.Errorf("figure table differs across runs/worker counts:\n--- workers=1 ---\n%s--- workers=4 ---\n%s", table1, table4)
+	}
+
+	// Row order is the policy spec order, not alphabetical and not map
+	// order: adaptive first, then the statics as listed.
+	panel, err := spec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := panel.Run(SweepOptions{Workers: 2})[0].Results
+	wantOrder := []string{"Adaptive", "Static-10", "Static-5"}
+	if len(res) != len(wantOrder) {
+		t.Fatalf("got %d rows, want %d", len(res), len(wantOrder))
+	}
+	for i, want := range wantOrder {
+		if res[i].Policy != want {
+			t.Errorf("row %d policy = %q, want %q", i, res[i].Policy, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmpAnalyzer flags ==/!= comparisons (and switch cases) against
+// exported sentinel errors — cloud.ErrTransient, cloud.ErrNoCapacity,
+// cloud.ErrUnknownVM, and any package-level Err* variable of error
+// type. The fault injector wraps transient faults
+// (fmt.Errorf("...: %w", cloud.ErrTransient)), so a direct == misses
+// every wrapped instance and a retry path silently treats a transient
+// error as fatal. errors.Is matches through wrapping and is the only
+// correct comparison.
+var ErrCmpAnalyzer = &Analyzer{
+	Name: "errcmp",
+	Doc: "flag ==/!= against Err* sentinel errors; use errors.Is so wrapped errors " +
+		"(e.g. transient faults from internal/fault) still match",
+	Run: runErrCmp,
+}
+
+func runErrCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if name, ok := sentinelError(pass, n.X); ok {
+					reportErrCmp(pass, n.Pos(), n.Op, name)
+				} else if name, ok := sentinelError(pass, n.Y); ok {
+					reportErrCmp(pass, n.Pos(), n.Op, name)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(n.Tag)
+				if t == nil || !types.Implements(t, errorType) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelError(pass, e); ok {
+							pass.Reportf(e.Pos(), "switch case compares error to sentinel %s by identity; "+
+								"wrapped errors will not match — use errors.Is in an if/else chain", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportErrCmp(pass *Pass, pos token.Pos, op token.Token, name string) {
+	verb := "errors.Is(err, " + name + ")"
+	if op == token.NEQ {
+		verb = "!" + verb
+	}
+	pass.Reportf(pos, "comparing error to sentinel %s with %s misses wrapped errors; use %s", name, op, verb)
+}
+
+// sentinelError reports whether the expression denotes a package-level
+// Err* variable of error type, returning its display name.
+func sentinelError(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	// Package-level (not a local or field), named Err*, of error type.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if len(v.Name()) < 4 || v.Name()[:3] != "Err" {
+		return "", false
+	}
+	if !types.Implements(v.Type(), errorType) {
+		return "", false
+	}
+	name := v.Name()
+	if v.Pkg() != pass.Pkg {
+		name = v.Pkg().Name() + "." + name
+	}
+	return name, true
+}

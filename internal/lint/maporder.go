@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `range` over a map in the packages whose
+// output feeds figures, CSV, reports, traces, or event scheduling.
+// Go's map iteration order is deliberately randomized, so a map range
+// whose body does anything order-sensitive — appends to a slice that is
+// never sorted, writes output, accumulates floating point, schedules
+// events — produces results that differ run to run: the classic
+// nondeterministic-output-and-scheduling bug class that only surfaces
+// as a flaky golden.
+//
+// Accepted forms:
+//   - order-insensitive bodies: integer counters and commutative
+//     integer accumulation, inserts into another map or set, delete,
+//     iteration-local temporaries, and a single guarded min/max-style
+//     assignment;
+//   - materialize-then-sort: a body that only collects keys/values is
+//     fine when a sort.*/slices.Sort* call follows later in the same
+//     enclosing block (the `names = append(names, k); ...;
+//     sort.Strings(names)` idiom).
+//
+// Anything cleverer needs the keys sorted first or a
+// //vmprov:allow maporder -- <reason> suppression.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range over a map where iteration order can leak into output or scheduling; " +
+		"sort the keys first or restructure into a commutative reduction",
+	AppliesTo:     pathGate("sim", "provision", "experiment", "metrics", "report", "trace"),
+	SkipTestFiles: true,
+	Run:           runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		following := followingStmts(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(pass, rs) {
+				return true
+			}
+			if sortFollows(pass, following[rs]) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration order is random and this loop body is order-sensitive; "+
+				"materialize and sort the keys first, restructure into a commutative reduction, "+
+				"or follow the loop with a sort.*/slices.Sort* call in the same block")
+			return true
+		})
+	}
+}
+
+// followingStmts maps every statement to the statements after it in its
+// innermost enclosing statement list, so the materialize-then-sort
+// idiom can look past the loop.
+func followingStmts(f *ast.File) map[ast.Stmt][]ast.Stmt {
+	out := map[ast.Stmt][]ast.Stmt{}
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			out[s] = list[i+1:]
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			record(n.List)
+		case *ast.CaseClause:
+			record(n.Body)
+		case *ast.CommClause:
+			record(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// sortFollows reports whether any statement in the list is a
+// sort.*/slices.Sort* call.
+func sortFollows(pass *Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		switch packageRef(pass.TypesInfo, sel.X) {
+		case "sort":
+			return true
+		case "slices":
+			if len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// orderInsensitiveBody reports whether every statement of the range
+// body commutes across iterations.
+func orderInsensitiveBody(pass *Pass, rs *ast.RangeStmt) bool {
+	for _, s := range rs.Body.List {
+		if !commutativeStmt(pass, rs, s, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// commutativeStmt decides one body statement. inIf loosens the rules
+// for the guarded min/max idiom (handled by ifCommutative).
+func commutativeStmt(pass *Pass, rs *ast.RangeStmt, s ast.Stmt, inIf bool) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return commutativeAssign(pass, rs, s)
+	case *ast.IncDecStmt:
+		return isIntegerExpr(pass, s.X)
+	case *ast.DeclStmt:
+		// Local temporaries live one iteration; harmless.
+		return true
+	case *ast.ExprStmt:
+		// Only the delete builtin is known side-effect-free with
+		// respect to ordering.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && pass.TypesInfo.Uses[id] == nil {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		return !inIf && ifCommutative(pass, rs, s)
+	case *ast.BranchStmt:
+		// continue commutes; break/goto end iteration early, which is
+		// order-dependent.
+		return s.Tok == token.CONTINUE
+	case *ast.EmptyStmt:
+		return true
+	default:
+		// Nested loops, switches, returns, breaks, sends, prints:
+		// conservatively order-sensitive.
+		return false
+	}
+}
+
+// commutativeAssign accepts map/set inserts, integer commutative
+// accumulation, and writes to iteration-local temporaries.
+func commutativeAssign(pass *Pass, rs *ast.RangeStmt, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Commutative only over integers: floating-point accumulation
+		// picks up different rounding per iteration order, which is
+		// exactly the bit-level nondeterminism this analyzer hunts.
+		for _, lhs := range s.Lhs {
+			if !isIntegerExpr(pass, lhs) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN, token.DEFINE:
+		for _, lhs := range s.Lhs {
+			if !commutativeLHS(pass, rs, lhs) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// commutativeLHS accepts blank, map-index stores, and iteration-local
+// variables.
+func commutativeLHS(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		return declaredWithin(pass, lhs, rs.Body)
+	case *ast.IndexExpr:
+		t := pass.TypesInfo.TypeOf(lhs.X)
+		if t == nil {
+			return false
+		}
+		_, isMap := t.Underlying().(*types.Map)
+		return isMap
+	default:
+		return false
+	}
+}
+
+// ifCommutative accepts an if (with optional else-if chain) whose
+// branches contain otherwise-commutative statements plus at most one
+// plain assignment to an outer variable — the `if v > best { best = v }`
+// min/max reduction. Two or more guarded outer writes (best + bestKey)
+// are order-sensitive on ties and rejected.
+func ifCommutative(pass *Pass, rs *ast.RangeStmt, s *ast.IfStmt) bool {
+	if s.Init != nil {
+		return false
+	}
+	outerWrites := 0
+	var branchOK func(ast.Stmt) bool
+	branchOK = func(st ast.Stmt) bool {
+		switch st := st.(type) {
+		case *ast.BlockStmt:
+			for _, inner := range st.List {
+				if commutativeStmt(pass, rs, inner, true) {
+					continue
+				}
+				as, ok := inner.(*ast.AssignStmt)
+				if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 {
+					return false
+				}
+				if !simpleLvalue(as.Lhs[0]) {
+					return false
+				}
+				outerWrites++
+			}
+			return true
+		case *ast.IfStmt:
+			if st.Init != nil {
+				return false
+			}
+			if !branchOK(st.Body) {
+				return false
+			}
+			if st.Else != nil {
+				return branchOK(st.Else)
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	if !branchOK(s.Body) {
+		return false
+	}
+	if s.Else != nil && !branchOK(s.Else) {
+		return false
+	}
+	return outerWrites <= 1
+}
+
+// simpleLvalue accepts a plain identifier or field selector target.
+func simpleLvalue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return simpleLvalue(e.X)
+	default:
+		return false
+	}
+}
+
+// declaredWithin reports whether the identifier's object is declared
+// inside the given node (an iteration-local temporary).
+func declaredWithin(pass *Pass, id *ast.Ident, within ast.Node) bool {
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= within.Pos() && obj.Pos() <= within.End()
+}
+
+// isIntegerExpr reports whether the expression has integer type.
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

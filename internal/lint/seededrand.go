@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// randPackages are the import paths whose global draw functions are
+// forbidden module-wide.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// globalRandFuncs are the package-level math/rand and math/rand/v2
+// functions that draw from (or reseed) the shared global source. Method
+// calls on an explicit *rand.Rand are not in this set — internal/stats
+// wraps exactly that — and neither are the source constructors, which
+// are only flagged when seeded from the wall clock.
+var globalRandFuncs = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+// randSourceCtors are the constructors checked for wall-clock seeding
+// (rand.NewSource(time.Now().UnixNano()) and friends).
+var randSourceCtors = map[string]bool{
+	"NewSource": true,
+	"NewPCG":    true,
+	"NewZipf":   false, // takes a *Rand, not a seed
+}
+
+// SeededRandAnalyzer forbids the process-global math/rand streams
+// anywhere in the module. Every stochastic draw must flow through a
+// seeded internal/stats RNG substream (rng.Split), otherwise two
+// replications of the same (scenario, policy, seed) cell can interleave
+// draws differently across sweep worker counts and the goldens stop
+// being bit-identical per seed. Wall-clock-seeded sources
+// (rand.NewSource(time.Now()...)) are flagged for the same reason.
+var SeededRandAnalyzer = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand draws and wall-clock-seeded sources; " +
+		"all randomness must flow through seeded internal/stats substreams",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := packageRef(pass.TypesInfo, sel.X)
+			if !randPackages[path] {
+				return true
+			}
+			if globalRandFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "global %s.%s draws from the shared process-wide source; "+
+					"use a seeded internal/stats RNG substream (rng.Split) so runs stay bit-identical per seed",
+					path, sel.Sel.Name)
+			}
+			return true
+		})
+		// Wall-clock seeding: rand.NewSource/NewPCG with any argument
+		// that transitively calls time.Now.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !randSourceCtors[sel.Sel.Name] {
+				return true
+			}
+			if !randPackages[packageRef(pass.TypesInfo, sel.X)] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if callsTimeNow(pass, arg) {
+					pass.Reportf(call.Pos(), "%s.%s seeded from the wall clock; "+
+						"derive seeds from the experiment seed (internal/stats rng.Split) so runs are reproducible",
+						packageRef(pass.TypesInfo, sel.X), sel.Sel.Name)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// callsTimeNow reports whether the expression contains a call rooted at
+// time.Now (e.g. time.Now().UnixNano()).
+func callsTimeNow(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Now" && packageRef(pass.TypesInfo, sel.X) == "time" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,46 @@
+// Package a is the copylocks fixture.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Copy duplicates the mutex by value: flagged.
+func Copy(c *counter) counter {
+	d := *c // want `assignment copies lock value: mu\.Mutex`
+	return d
+}
+
+// ByValue copies out of an array of lock-holders: flagged.
+func ByValue(arr [2]counter) int {
+	c := arr[0] // want `assignment copies lock value: mu\.Mutex`
+	return c.n
+}
+
+// RangeCopy copies each element into the range value: flagged.
+func RangeCopy(m map[string]counter) int {
+	total := 0
+	for _, c := range m { // want `range clause copies lock value: mu\.Mutex`
+		total += c.n
+	}
+	return total
+}
+
+// Pointers is the false-positive guard: moving a pointer to a lock
+// copies nothing that is locked, and a fresh composite literal is a new
+// value, not a copy.
+func Pointers(c *counter) *counter {
+	d := c
+	e := &counter{}
+	e.n++
+	return d
+}
+
+// Allowed documents the escape hatch.
+func Allowed(c *counter) int {
+	d := *c //vmprov:allow copylocks -- fixture: copied before first use, no lock ever held
+	return d.n
+}

@@ -1,0 +1,43 @@
+// Package cloudish is the errcmp fixture: sentinel error comparisons.
+package cloudish
+
+import "errors"
+
+var (
+	ErrTransient = errors.New("transient")
+	ErrNoCap     = errors.New("no capacity")
+)
+
+// ErrCount is not an error despite the Err prefix; comparing it stays
+// legal (false-positive guard).
+var ErrCount int
+
+// Retry exercises the flagged comparison forms.
+func Retry(err error) bool {
+	if err == ErrTransient { // want `comparing error to sentinel ErrTransient with == misses wrapped errors; use errors\.Is\(err, ErrTransient\)`
+		return true
+	}
+	if err != ErrNoCap { // want `comparing error to sentinel ErrNoCap with != misses wrapped errors; use !errors\.Is\(err, ErrNoCap\)`
+		return false
+	}
+	switch err {
+	case ErrTransient: // want `switch case compares error to sentinel ErrTransient by identity`
+		return true
+	case nil:
+		return false
+	}
+	return errors.Is(err, ErrTransient) // the supported comparison
+}
+
+// Guards collects the legal shapes: nil checks and non-error Err* names.
+func Guards(err error) bool {
+	if err == nil {
+		return true
+	}
+	return ErrCount == 3
+}
+
+// Allowed documents the escape hatch.
+func Allowed(err error) bool {
+	return err == ErrTransient //vmprov:allow errcmp -- fixture: identity comparison is intentional here
+}

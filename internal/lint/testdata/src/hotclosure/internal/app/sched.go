@@ -1,0 +1,29 @@
+// Package app is the hotclosure fixture. Sim mimics the kernel's
+// scheduling surface; the analyzer matches the receiver type by name.
+package app
+
+// Sim stands in for the simulation kernel.
+type Sim struct{}
+
+func (s *Sim) Schedule(delay float64, fn func())                 {}
+func (s *Sim) At(t float64, fn func())                           {}
+func (s *Sim) ScheduleFunc(delay float64, fn func(any), arg any) {}
+func (s *Sim) AtFunc(t float64, fn func(any), arg any)           {}
+func (s *Sim) Every(delay, interval float64, fn func(float64))   {}
+
+// Other has an At method but is not the kernel (false-positive guard).
+type Other struct{}
+
+func (o *Other) At(t float64, fn func()) {}
+
+func emit(any) {}
+
+// Wire exercises the flagged and legal scheduling shapes.
+func Wire(s *Sim, o *Other) {
+	s.At(1, func() {})                   // want `closure literal passed to Sim\.At allocates per scheduled event`
+	s.ScheduleFunc(1, func(any) {}, nil) // want `closure literal passed to Sim\.ScheduleFunc allocates per scheduled event`
+	s.AtFunc(1, emit, nil)               // named callback: the supported shape
+	s.Every(0, 1, func(float64) {})      // Every registers its callback once; legal
+	o.At(1, func() {})                   // not the kernel: legal
+	s.At(2, func() {})                   //vmprov:allow hotclosure -- fixture: cold path, runs once at setup
+}

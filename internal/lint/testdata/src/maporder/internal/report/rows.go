@@ -1,0 +1,86 @@
+// Package report is the maporder fixture: a path-gated output package.
+package report
+
+import "sort"
+
+// Rows leaks iteration order into the output slice: flagged.
+func Rows(cells map[string]int) []string {
+	var out []string
+	for name := range cells { // want `map iteration order is random`
+		out = append(out, name)
+	}
+	return out
+}
+
+// SortedRows materializes then sorts in the same block: legal.
+func SortedRows(cells map[string]int) []string {
+	var out []string
+	for name := range cells {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total is a commutative integer reduction: legal.
+func Total(cells map[string]int) int {
+	total := 0
+	for _, n := range cells {
+		total += n
+	}
+	return total
+}
+
+// Mean accumulates floating point, whose rounding depends on iteration
+// order: flagged.
+func Mean(cells map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range cells { // want `map iteration order is random`
+		sum += v
+	}
+	return sum / float64(len(cells))
+}
+
+// Max is the guarded single-write min/max reduction: legal.
+func Max(cells map[string]int) int {
+	best := 0
+	for _, v := range cells {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ArgMax writes two outer variables under one guard — order-sensitive
+// on ties: flagged.
+func ArgMax(cells map[string]int) string {
+	best, bestName := 0, ""
+	for name, v := range cells { // want `map iteration order is random`
+		if v > best {
+			best = v
+			bestName = name
+		}
+	}
+	_ = best
+	return bestName
+}
+
+// Invert only stores into another map: legal.
+func Invert(cells map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range cells {
+		out[v] = k
+	}
+	return out
+}
+
+// Allowed documents the escape hatch.
+func Allowed(cells map[string]int) []string {
+	var out []string
+	//vmprov:allow maporder -- fixture: feeds a set the caller sorts downstream
+	for name := range cells {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package plain is the maporder false-positive guard: it sits outside
+// the analyzer's gate, so unordered iteration is legal.
+package plain
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package a is the nilness fixture.
+package a
+
+type box struct{ v int }
+
+// Use exercises guaranteed panics under an `if x == nil` dominator.
+func Use(b *box, fn func(), xs []int) int {
+	if b == nil {
+		return b.v // want `b is nil here; selecting b\.v will panic`
+	}
+	if fn == nil {
+		fn() // want `fn is a nil func here; calling it will panic`
+	}
+	if xs == nil {
+		_ = xs[0] // want `xs is a nil slice here; indexing it will panic`
+	}
+	return b.v
+}
+
+// Guards is the false-positive guard: reassignment inside the body
+// clears the nil fact, and a != nil check is not a nil dominator.
+func Guards(b *box) int {
+	if b == nil {
+		b = &box{}
+		return b.v
+	}
+	if b != nil {
+		return b.v
+	}
+	return 0
+}
+
+// Allowed documents the escape hatch.
+func Allowed(b *box) int {
+	if b == nil {
+		return b.v //vmprov:allow nilness -- fixture: unreachable by construction in this demo
+	}
+	return 0
+}

@@ -1,0 +1,32 @@
+// Package app is the seededrand fixture. The analyzer is module-wide,
+// so no gated path is needed.
+package app
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Draws exercises the forbidden global draw functions and wall-clock
+// seeding.
+func Draws() float64 {
+	n := rand.Intn(10) // want `global math/rand\.Intn draws from the shared process-wide source`
+	_ = n
+	_ = randv2.IntN(10)                          // want `global math/rand/v2\.IntN draws from the shared process-wide source`
+	src := rand.NewSource(time.Now().UnixNano()) // want `math/rand\.NewSource seeded from the wall clock`
+	r := rand.New(src)
+	return r.Float64() // methods on an explicit *rand.Rand are the supported shape
+}
+
+// FixedSeed is the false-positive guard: a deterministic source and
+// method calls on it are exactly what internal/stats wraps.
+func FixedSeed() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+// Allowed documents the escape hatch.
+func Allowed() int {
+	return rand.Int() //vmprov:allow seededrand -- fixture: demonstrating suppression
+}

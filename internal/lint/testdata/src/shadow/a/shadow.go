@@ -1,0 +1,48 @@
+// Package a is the shadow fixture.
+package a
+
+import "errors"
+
+// Shadowed rebinds err in an inner scope while the outer err is still
+// read afterwards: flagged.
+func Shadowed() error {
+	err := errors.New("outer")
+	if true {
+		err := errors.New("inner") // want `declaration of "err" shadows declaration at`
+		_ = err
+	}
+	return err
+}
+
+// InitClause is a false-positive guard: declarations in an if/for init
+// clause are idiomatic, not shadows.
+func InitClause() error {
+	err := errors.New("outer")
+	if err := probe(); err != nil {
+		return err
+	}
+	return err
+}
+
+// NotUsedAfter is a false-positive guard: the outer variable is never
+// read after the inner scope, so the rebinding is harmless.
+func NotUsedAfter() {
+	err := errors.New("outer")
+	_ = err
+	if true {
+		err := errors.New("inner")
+		_ = err
+	}
+}
+
+func probe() error { return nil }
+
+// Allowed documents the escape hatch.
+func Allowed() error {
+	err := errors.New("outer")
+	if true {
+		err := errors.New("inner") //vmprov:allow shadow -- fixture: intentional rebinding
+		_ = err
+	}
+	return err
+}

@@ -1,0 +1,10 @@
+// Package main is the simclock false-positive guard: cmd/ trees sit
+// outside the analyzer's gate, so wall-clock use is legal here.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	_ = time.Since(start)
+}

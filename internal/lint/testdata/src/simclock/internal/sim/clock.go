@@ -1,0 +1,29 @@
+// Package sim is the simclock fixture: a path-gated simulation package.
+package sim
+
+import "time"
+
+// Tick exercises the forbidden wall-clock surface.
+func Tick() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the wall clock`
+	var tk *time.Ticker          // want `time\.Ticker is wall-clock-driven`
+	_ = tk
+	elapsed := time.Since(start) // want `time\.Since reads the wall clock`
+	return elapsed
+}
+
+// Allowed shows a justified suppression and that pure value helpers
+// (time.Duration constants) stay legal.
+func Allowed() time.Duration {
+	t0 := time.Now() //vmprov:allow simclock -- fixture: documenting the escape hatch
+	_ = t0
+	const d = 5 * time.Second
+	return d
+}
+
+// BadAllow shows that a reason-less allow comment suppresses nothing.
+func BadAllow() {
+	//vmprov:allow simclock
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the wall clock`
+}

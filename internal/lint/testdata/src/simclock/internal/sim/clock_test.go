@@ -1,0 +1,9 @@
+package sim
+
+import "time"
+
+// Test files are exempt from simclock: timing harnesses are legal.
+func testOnlyTimer() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

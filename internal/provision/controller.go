@@ -98,28 +98,51 @@ func (sc *Scheduled) Attach(s *sim.Sim, p *Provisioner) {
 			panic("provision: Scheduled times must ascend")
 		}
 	}
-	apply := func(cycle float64) {
-		for i, t0 := range sc.Times {
-			m := sc.Sizes[i]
-			at := cycle + t0
-			if at == 0 {
-				p.SetTarget(m)
-				continue
-			}
-			s.At(at, func() { p.SetTarget(m) })
-		}
-	}
-	apply(0)
+	sc.apply(s, p, 0)
 	if sc.Repeat > 0 {
-		var nextCycle func(c float64)
-		nextCycle = func(c float64) {
-			s.At(c, func() {
-				apply(c)
-				nextCycle(c + sc.Repeat)
-			})
-		}
-		nextCycle(sc.Repeat)
+		s.AtFunc(sc.Repeat, fireScheduledCycle, &scheduledCycle{sc: sc, s: s, p: p, cycle: sc.Repeat})
 	}
+}
+
+// apply schedules one cycle's size changes, applying the t=0 entry
+// immediately.
+func (sc *Scheduled) apply(s *sim.Sim, p *Provisioner, cycle float64) {
+	for i, t0 := range sc.Times {
+		m := sc.Sizes[i]
+		at := cycle + t0
+		if at == 0 {
+			p.SetTarget(m)
+			continue
+		}
+		s.AtFunc(at, applySizeChange, &sizeChange{p: p, m: m})
+	}
+}
+
+// sizeChange carries one planned fleet size to its change instant.
+type sizeChange struct {
+	p *Provisioner
+	m int
+}
+
+func applySizeChange(a any) {
+	c := a.(*sizeChange)
+	c.p.SetTarget(c.m)
+}
+
+// scheduledCycle re-applies a repeating plan; the one struct is reused
+// across cycles, advancing its base time each firing.
+type scheduledCycle struct {
+	sc    *Scheduled
+	s     *sim.Sim
+	p     *Provisioner
+	cycle float64 // base time of the pending re-application
+}
+
+func fireScheduledCycle(a any) {
+	cy := a.(*scheduledCycle)
+	cy.sc.apply(cy.s, cy.p, cy.cycle)
+	cy.cycle += cy.sc.Repeat
+	cy.s.AtFunc(cy.cycle, fireScheduledCycle, cy)
 }
 
 // Static is the baseline policy of Section V: a fixed number of instances

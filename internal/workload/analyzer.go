@@ -48,15 +48,34 @@ func (a *SciAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
 		horizon = Day
 	}
 	alert(a.OffPeakEstimate())
+	st := &sciAlertState{a: a, alert: alert}
 	for day := 0; float64(day)*Day < horizon; day++ {
 		base := float64(day) * Day
 		if t := base + a.Model.PeakStart; t > 0 && t <= horizon {
-			s.At(t, func() { alert(a.PeakEstimate()) })
+			s.AtFunc(t, firePeakAlert, st)
 		}
 		if t := base + a.Model.PeakEnd; t > 0 && t <= horizon {
-			s.At(t, func() { alert(a.OffPeakEstimate()) })
+			s.AtFunc(t, fireOffPeakAlert, st)
 		}
 	}
+}
+
+// sciAlertState carries the analyzer and its sink to the shared
+// window-boundary callbacks, so a horizon of N days schedules 2N alert
+// events off one allocation.
+type sciAlertState struct {
+	a     *SciAnalyzer
+	alert func(lambda float64)
+}
+
+func firePeakAlert(arg any) {
+	st := arg.(*sciAlertState)
+	st.alert(st.a.PeakEstimate())
+}
+
+func fireOffPeakAlert(arg any) {
+	st := arg.(*sciAlertState)
+	st.alert(st.a.OffPeakEstimate())
 }
 
 // WindowAnalyzer is an empirical analyzer (an instance of the paper's

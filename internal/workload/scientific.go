@@ -85,86 +85,140 @@ func (sc *Scientific) MeanRate(t float64) float64 {
 // service times keep the paper's distributions, preserving per-instance
 // queueing behavior.
 func (sc *Scientific) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
-	arr := r.Split("sci/arrivals")
-	size := r.Split("sci/size")
-	svc := r.Split("sci/service")
-	service := stats.Scaled{
-		S:      stats.Uniform{Min: 1, Max: 1 + sc.Jitter},
-		Factor: sc.BaseService,
+	run := &sciRun{
+		sc:   sc,
+		s:    s,
+		emit: emit,
+		arr:  r.Split("sci/arrivals"),
+		size: r.Split("sci/size"),
+		svc:  r.Split("sci/service"),
+		service: stats.Scaled{
+			S:      stats.Uniform{Min: 1, Max: 1 + sc.Jitter},
+			Factor: sc.BaseService,
+		},
 	}
+	run.planDay()
+}
 
-	emitJob := func(at float64) {
-		// Truncate, don't round: the size class is the integer part of
-		// the Weibull variate (at least one task). This reproduces the
-		// paper's reported volume of ≈8286 requests per simulated day;
-		// rounding would inflate the daily volume by ≈17%.
-		tasks := int(sc.Size.Sample(size))
-		if tasks < 1 {
-			tasks = 1
-		}
-		for i := 0; i < tasks; i++ {
-			req := Request{
-				ID:      sc.ids.next(),
-				Arrival: at,
-				Service: service.Sample(svc),
-			}
-			s.At(at, func() { emit(req) })
-		}
-	}
+// sciRun is one replication's arrival-process state. The planner, the
+// off-peak batches, and the peak chain all schedule through package-level
+// callbacks sharing this single struct as their kernel arg, so the
+// steady-state arrival machinery allocates nothing per event; only each
+// task's arrival carries its own payload (sciTask). Callbacks that used
+// to capture their fire time read s.Now() instead, which returns the
+// stored event time bit-exactly.
+type sciRun struct {
+	sc      *Scientific
+	s       *sim.Sim
+	emit    func(Request)
+	arr     *stats.RNG
+	size    *stats.RNG
+	svc     *stats.RNG
+	service stats.Scaled
+	day     int // next day to plan
+}
 
-	// Peak hours: a self-scheduling interarrival chain, restarted at each
-	// day's peak start by the period planner below.
-	var chain func()
-	chain = func() {
-		now := s.Now()
-		if !sc.inPeak(math.Mod(now, Day)) {
-			return // peak ended; planner restarts the chain tomorrow
-		}
-		emitJob(now)
-		gap := sc.Interarrival.Sample(arr) / sc.Scale
-		s.Schedule(gap, chain)
-	}
+// sciTask carries one task's request to its arrival event.
+type sciTask struct {
+	run *sciRun
+	req Request
+}
 
-	// Off-peak: one batch of evenly spaced jobs per 30-minute period.
-	offPeakPeriod := func(start float64) {
-		n := int(math.Round(sc.OffPeakJobs.Sample(arr) * sc.Scale))
-		if n <= 0 {
-			return
-		}
-		gap := sc.OffPeakPeriod / float64(n)
-		for i := 0; i < n; i++ {
-			at := start + float64(i)*gap
-			s.At(at, func() { emitJob(at) })
-		}
-	}
+// emitSciTask delivers one task arrival.
+func emitSciTask(a any) {
+	t := a.(*sciTask)
+	t.run.emit(t.req)
+}
 
-	// Period planner: walk each day's schedule. Off-peak periods cover
-	// [0, PeakStart) and [PeakEnd, Day); the peak chain starts at
-	// PeakStart.
-	plan := func(dayBase float64) {
-		for tod := 0.0; tod < Day; tod += sc.OffPeakPeriod {
-			if sc.inPeak(tod) {
-				continue
-			}
-			t := dayBase + tod
-			if t == 0 {
-				offPeakPeriod(0)
-			} else {
-				s.At(t, func() { offPeakPeriod(t) })
-			}
+// emitJob samples a job's task count and schedules each task's arrival
+// at time at.
+func (r *sciRun) emitJob(at float64) {
+	// Truncate, don't round: the size class is the integer part of
+	// the Weibull variate (at least one task). This reproduces the
+	// paper's reported volume of ≈8286 requests per simulated day;
+	// rounding would inflate the daily volume by ≈17%.
+	tasks := int(r.sc.Size.Sample(r.size))
+	if tasks < 1 {
+		tasks = 1
+	}
+	for i := 0; i < tasks; i++ {
+		req := Request{
+			ID:      r.sc.ids.next(),
+			Arrival: at,
+			Service: r.service.Sample(r.svc),
 		}
-		s.At(dayBase+sc.PeakStart, func() {
-			// First peak job arrives one interarrival after the window
-			// opens.
-			s.Schedule(sc.Interarrival.Sample(arr)/sc.Scale, chain)
-		})
+		r.s.AtFunc(at, emitSciTask, &sciTask{run: r, req: req})
 	}
+}
 
-	// Plan enough days lazily: plan day d at its start.
-	var planDay func(d int)
-	planDay = func(d int) {
-		plan(float64(d) * Day)
-		s.At(float64(d+1)*Day, func() { planDay(d + 1) })
+// sciChain advances the peak-hours self-scheduling interarrival chain,
+// restarted at each day's peak start by the period planner.
+func sciChain(a any) {
+	r := a.(*sciRun)
+	now := r.s.Now()
+	if !r.sc.inPeak(math.Mod(now, Day)) {
+		return // peak ended; planner restarts the chain tomorrow
 	}
-	planDay(0)
+	r.emitJob(now)
+	gap := r.sc.Interarrival.Sample(r.arr) / r.sc.Scale
+	r.s.ScheduleFunc(gap, sciChain, r)
+}
+
+// sciStartPeak opens a day's peak window: the first peak job arrives one
+// interarrival after the window opens.
+func sciStartPeak(a any) {
+	r := a.(*sciRun)
+	r.s.ScheduleFunc(r.sc.Interarrival.Sample(r.arr)/r.sc.Scale, sciChain, r)
+}
+
+// sciJob fires one off-peak job arrival at the current instant.
+func sciJob(a any) {
+	r := a.(*sciRun)
+	r.emitJob(r.s.Now())
+}
+
+// sciPeriod opens one off-peak period at the current instant.
+func sciPeriod(a any) {
+	r := a.(*sciRun)
+	r.offPeakPeriod(r.s.Now())
+}
+
+// offPeakPeriod emits one batch of evenly spaced jobs for the 30-minute
+// period starting at start.
+func (r *sciRun) offPeakPeriod(start float64) {
+	n := int(math.Round(r.sc.OffPeakJobs.Sample(r.arr) * r.sc.Scale))
+	if n <= 0 {
+		return
+	}
+	gap := r.sc.OffPeakPeriod / float64(n)
+	for i := 0; i < n; i++ {
+		r.s.AtFunc(start+float64(i)*gap, sciJob, r)
+	}
+}
+
+// sciPlanDay plans the next day at its first instant.
+func sciPlanDay(a any) {
+	a.(*sciRun).planDay()
+}
+
+// planDay walks one day's schedule — off-peak periods cover
+// [0, PeakStart) and [PeakEnd, Day); the peak chain starts at
+// PeakStart — then schedules itself for the following day, planning
+// lazily.
+func (r *sciRun) planDay() {
+	dayBase := float64(r.day) * Day
+	for tod := 0.0; tod < Day; tod += r.sc.OffPeakPeriod {
+		if r.sc.inPeak(tod) {
+			continue
+		}
+		t := dayBase + tod
+		if t == 0 {
+			r.offPeakPeriod(0)
+		} else {
+			r.s.AtFunc(t, sciPeriod, r)
+		}
+	}
+	r.s.AtFunc(dayBase+r.sc.PeakStart, sciStartPeak, r)
+	r.day++
+	r.s.AtFunc(float64(r.day)*Day, sciPlanDay, r)
 }

@@ -369,6 +369,7 @@ func (a *WebAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
 	}
 	// Initial estimate for the period containing t=0.
 	alert(a.estimateAt(0))
+	st := &webAlertState{a: a, s: s, alert: alert}
 	for day := 0; ; day++ {
 		base := float64(day) * Day
 		if base > horizon {
@@ -379,9 +380,23 @@ func (a *WebAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
 			if t <= 0 || t > horizon {
 				continue
 			}
-			s.At(t, func() { alert(a.estimateAt(t)) })
+			s.AtFunc(t, fireWebAlert, st)
 		}
 	}
+}
+
+// webAlertState carries the analyzer and its sink to the shared
+// period-boundary callback; the boundary time is read back from the
+// kernel, which stores it exactly.
+type webAlertState struct {
+	a     *WebAnalyzer
+	s     *sim.Sim
+	alert func(lambda float64)
+}
+
+func fireWebAlert(arg any) {
+	st := arg.(*webAlertState)
+	st.alert(st.a.estimateAt(st.s.Now()))
 }
 
 // estimateAt returns the predicted rate for the period containing time t:
