@@ -59,11 +59,13 @@ fault-smoke:
 	$(GO) run ./cmd/vmprovsim -spec examples/specs/web_fault_panel.json > /dev/null
 
 # Short fuzzing of the kernel's heap/arena against the reference
-# scheduler, plus the fault-schedule determinism fuzzer. The seed
-# corpora also run on every plain `go test`.
+# scheduler, the fault-schedule determinism fuzzer, and the strict v2
+# trace decoder (decode/re-encode round-trip). The seed corpora also run
+# on every plain `go test`.
 fuzz:
 	$(GO) test ./internal/sim -run FuzzSimHeap -fuzz FuzzSimHeap -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiment -run FuzzFaultSchedule -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run FuzzTraceV2Decode -fuzz FuzzTraceV2Decode -fuzztime $(FUZZTIME)
 
 # Regenerate the kernel throughput record (web scenario, scales 0.1 and
 # 1.0, one simulated hour each).
@@ -79,12 +81,15 @@ sweep-smoke:
 	$(GO) test -count=1 ./internal/experiment -run 'TestSpec|TestPanel|TestPaperPanel|TestResolve|TestGoldenSpec|TestScenarioSpec'
 
 # Spec round-trip gate: the committed golden panel files must equal a
-# fresh -dumpspec, reload, and compile (TestGoldenSpecFiles), and a
-# dumped panel must run end to end through -spec.
+# fresh -dumpspec, reload, and compile (TestGoldenSpecFiles), the
+# committed golden trace must equal a fresh -record (TestGoldenTraceFile),
+# a dumped panel must run end to end through -spec, and the committed
+# multi-client panel must run with its per-client breakdown.
 spec-roundtrip:
-	$(GO) test -count=1 ./internal/experiment -run 'TestGoldenSpecFiles|TestPaperPanelRoundTrip'
+	$(GO) test -count=1 ./internal/experiment -run 'TestGoldenSpecFiles|TestGoldenTraceFile|TestPaperPanelRoundTrip'
 	$(GO) run ./cmd/vmprovsim -dumpspec scientific -scale 0.2 -reps 1 > $(SPECTMP)
 	$(GO) run ./cmd/vmprovsim -spec $(SPECTMP) > /dev/null
+	$(GO) run ./cmd/vmprovsim -spec examples/specs/web_multiclient_panel.json > /dev/null
 
 # Full benchmark sweep with allocation stats (slow; not part of ci).
 bench:

@@ -8,7 +8,9 @@
 //	vmprovsim -scenario scientific -policy adaptive -series
 //	vmprovsim -scenario web -scale 0.1 -policy static:10
 //	vmprovsim -dumpspec scientific -reps 3 > panel.json
-//	vmprovsim -spec panel.json
+//	vmprovsim -dumpspec web-multi -reps 3 > multi.json
+//	vmprovsim -spec multi.json
+//	vmprovsim -scenario web-multi -record arrivals.trace
 //	vmprovsim -benchkernel BENCH_kernel.json -benchscales 0.1,1
 //	vmprovsim -scenario web -scale 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -44,7 +46,8 @@ func main() {
 		policy   = flag.String("policy", "adaptive", "registered policy name (adaptive, static:<m>, ...; single-policy mode)")
 		vms      = flag.Int("vms", 0, "fleet size for -policy static")
 		specFile = flag.String("spec", "", "run a declarative JSON panel spec file (\"-\" = stdin)")
-		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, all, or web-fault")
+		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, all, web-fault, or web-multi")
+		record   = flag.String("record", "", "record the scenario's arrival stream as a v2 trace to this file (uses -scenario/-scale/-seed/-horizon)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
 		series   = flag.Bool("series", false, "emit the instance-count time series (single-policy mode)")
 		traceOut = flag.String("trace", "", "write a JSONL event trace of one replication to this file (single-policy mode)")
@@ -145,6 +148,24 @@ func main() {
 	}
 	if *horizon > 0 {
 		sc.Horizon = *horizon
+	}
+
+	if *record != "" {
+		f, ferr := os.Create(*record)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", ferr)
+			os.Exit(1)
+		}
+		n, rerr := vmprov.RecordTrace(sc, *seed, f)
+		if cerr := f.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", rerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d requests → %s\n", n, *record)
+		return
 	}
 
 	if *all {

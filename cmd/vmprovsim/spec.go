@@ -9,16 +9,22 @@ import (
 )
 
 // dumpSpec prints a built-in paper panel spec ("web", "scientific",
-// "all" for one panel holding both scenarios, or "web-fault" for the
-// resilience panel with injected crashes and API faults) as indented
-// JSON. scale 0 picks each scenario's default; reps and seed are
-// embedded verbatim.
+// "all" for one panel holding both scenarios, "web-fault" for the
+// resilience panel with injected crashes and API faults, or "web-multi"
+// for the multi-client cohort panel) as indented JSON. scale 0 picks
+// each scenario's default; reps and seed are embedded verbatim.
 func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) error {
 	var spec vmprov.PanelSpec
 	switch name {
 	case "web-fault":
 		var err error
 		spec, err = vmprov.FaultPanel(scale, reps, seed)
+		if err != nil {
+			return err
+		}
+	case "web-multi":
+		var err error
+		spec, err = vmprov.MultiClientPanel(scale, reps, seed)
 		if err != nil {
 			return err
 		}
@@ -38,7 +44,7 @@ func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) er
 		var err error
 		spec, err = vmprov.PaperPanel(name, scale, reps, seed)
 		if err != nil {
-			return fmt.Errorf("%w (or \"all\", \"web-fault\")", err)
+			return fmt.Errorf("%w (or \"all\", \"web-fault\", \"web-multi\")", err)
 		}
 	}
 	data, err := spec.MarshalJSONIndent()
@@ -81,6 +87,9 @@ func runSpecFile(path string, workers int, csv bool) error {
 	for i, pr := range results {
 		if csv {
 			fmt.Print(vmprov.ResultsCSV(pr.Results))
+			// Multi-client scenarios append their per-client and
+			// per-SLO-class rows as a second CSV block.
+			fmt.Print(vmprov.ClientBreakdownCSV(pr.Results))
 			continue
 		}
 		if i > 0 {
@@ -88,6 +97,10 @@ func runSpecFile(path string, workers int, csv bool) error {
 		}
 		caption := vmprov.FigureCaption(spec.Name, panel.Scenarios[i], reps)
 		fmt.Print(vmprov.FigureTable(caption, pr.Results))
+		if t := vmprov.ClientBreakdownTable("per-client breakdown", pr.Results); t != "" {
+			fmt.Println()
+			fmt.Print(t)
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"vmprov/internal/metrics"
 	"vmprov/internal/workload"
 )
 
@@ -52,11 +53,11 @@ func TestRunOnceDeterminism(t *testing.T) {
 	sc := Sci(1)
 	a, _ := RunOnce(sc, AdaptivePolicy(), 42, RunOptions{})
 	b, _ := RunOnce(sc, AdaptivePolicy(), 42, RunOptions{})
-	if a != b {
+	if !metrics.Equal(a, b) {
 		t.Fatalf("same-seed replications differ:\n%+v\n%+v", a, b)
 	}
 	c, _ := RunOnce(sc, AdaptivePolicy(), 43, RunOptions{})
-	if a == c {
+	if metrics.Equal(a, c) {
 		t.Fatal("different seeds produced identical results (suspicious)")
 	}
 }
@@ -70,11 +71,11 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 		t.Fatal("replication counts wrong")
 	}
 	for i := range serialRuns {
-		if serialRuns[i] != parRuns[i] {
+		if !metrics.Equal(serialRuns[i], parRuns[i]) {
 			t.Fatalf("replication %d differs between serial and parallel runners", i)
 		}
 	}
-	if serialAgg != parAgg {
+	if !metrics.Equal(serialAgg, parAgg) {
 		t.Fatal("aggregates differ between serial and parallel runners")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vmprov/internal/fault"
+	"vmprov/internal/metrics"
 )
 
 // tinyFaultPanel is a trimmed FaultPanel — one MTTF rung, a one-hour
@@ -49,7 +50,7 @@ func TestSweepFaultPanelDeterministicAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{4, 8} {
 		got := Sweep(jobs, SweepOptions{Workers: workers})
 		for i := range base {
-			if got[i] != base[i] {
+			if !metrics.Equal(got[i], base[i]) {
 				t.Fatalf("workers=%d job %d differs:\n%+v\n%+v", workers, i, got[i], base[i])
 			}
 		}
@@ -89,7 +90,7 @@ func TestSweepFaultSpecRoundTrip(t *testing.T) {
 			t.Fatalf("scenario order differs at %d", i)
 		}
 		for j := range prog[i].Results {
-			if prog[i].Results[j] != json4[i].Results[j] {
+			if !metrics.Equal(prog[i].Results[j], json4[i].Results[j]) {
 				t.Fatalf("cell (%d,%d) differs between JSON and programmatic runs:\n%+v\n%+v",
 					i, j, prog[i].Results[j], json4[i].Results[j])
 			}
@@ -110,7 +111,7 @@ func TestSweepZeroFaultSpecBitIdentical(t *testing.T) {
 	rc := NewRunContext()
 	a, _ := rc.Run(plain, AdaptivePolicy(), 42, RunOptions{})
 	b, _ := rc.Run(zeroed, AdaptivePolicy(), 42, RunOptions{})
-	if a != b {
+	if !metrics.Equal(a, b) {
 		t.Fatalf("zero fault spec perturbed the run:\n%+v\n%+v", a, b)
 	}
 	if a.Crashes != 0 || a.Retries != 0 || a.RequestsLost != 0 {
@@ -160,11 +161,11 @@ func FuzzFaultSchedule(f *testing.F) {
 		sc.Fault = sp
 		a, _ := rc1.Run(sc, AdaptivePolicy(), seed, RunOptions{})
 		b, _ := rc2.Run(sc, AdaptivePolicy(), seed, RunOptions{})
-		if a != b {
+		if !metrics.Equal(a, b) {
 			t.Fatalf("faulty run not deterministic:\n%+v\n%+v", a, b)
 		}
 		c, _ := rc1.Run(sc, AdaptivePolicy(), seed, RunOptions{})
-		if a != c {
+		if !metrics.Equal(a, c) {
 			t.Fatalf("pooled-context rerun differs:\n%+v\n%+v", a, c)
 		}
 		if a.Availability < 0 || a.Availability > 1 {

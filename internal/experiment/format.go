@@ -45,6 +45,68 @@ func ResultsCSV(results []metrics.Result) string {
 	return b.String()
 }
 
+// ClientBreakdownTable renders the per-client and per-SLO-class rows of
+// results that carry them (multi-client scenarios): one block of client
+// rows per policy, followed by the class roll-up rows. Returns "" when
+// no result has client rows, so single-source output keeps its shape.
+func ClientBreakdownTable(caption string, results []metrics.Result) string {
+	if !anyClients(results) {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", caption)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tclient\tslo class\taccepted\trejected\trejection\tresp mean\tviolations")
+	for _, r := range results {
+		for _, cr := range r.Clients {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%.4f\t%.4g\t%d\n",
+				r.Policy, cr.Client, cr.SLOClass, cr.Accepted, cr.Rejected,
+				cr.RejectionRate, cr.MeanResponse, cr.Violations)
+		}
+		for _, cr := range metrics.SLOClassResults(r.Clients) {
+			fmt.Fprintf(w, "%s\t(class)\t%s\t%d\t%d\t%.4f\t%.4g\t%d\n",
+				r.Policy, cr.SLOClass, cr.Accepted, cr.Rejected,
+				cr.RejectionRate, cr.MeanResponse, cr.Violations)
+		}
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// ClientBreakdownCSV renders per-client rows (and per-SLO-class roll-up
+// rows, tagged "class" in the row_type column) as CSV. Returns "" when
+// no result carries client rows.
+func ClientBreakdownCSV(results []metrics.Result) string {
+	if !anyClients(results) {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("policy,row_type,client,slo_class,accepted,rejected,rejection_rate,mean_response_s,violations\n")
+	for _, r := range results {
+		for _, cr := range r.Clients {
+			fmt.Fprintf(&b, "%s,client,%s,%s,%d,%d,%.6f,%.6f,%d\n",
+				r.Policy, cr.Client, cr.SLOClass, cr.Accepted, cr.Rejected,
+				cr.RejectionRate, cr.MeanResponse, cr.Violations)
+		}
+		for _, cr := range metrics.SLOClassResults(r.Clients) {
+			fmt.Fprintf(&b, "%s,class,,%s,%d,%d,%.6f,%.6f,%d\n",
+				r.Policy, cr.SLOClass, cr.Accepted, cr.Rejected,
+				cr.RejectionRate, cr.MeanResponse, cr.Violations)
+		}
+	}
+	return b.String()
+}
+
+// anyClients reports whether any result carries per-client rows.
+func anyClients(results []metrics.Result) bool {
+	for _, r := range results {
+		if len(r.Clients) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // MeanRateSeries samples a source's analytic mean arrival rate every step
 // seconds over [0, horizon] — the curves of the paper's Figures 3 and 4.
 func MeanRateSeries(src workload.Source, horizon, step float64) []metrics.SeriesPoint {

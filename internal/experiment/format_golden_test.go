@@ -52,6 +52,55 @@ func TestResultsCSVGolden(t *testing.T) {
 	}
 }
 
+// tinyClientResults is a fixed multi-client row set: one policy with
+// three client cohorts over two SLO classes (so the class roll-up sums
+// and acceptance-weights across clients), one policy with none.
+func tinyClientResults() []metrics.Result {
+	clients := []metrics.ClientResult{
+		{Client: "api", SLOClass: "interactive", Accepted: 900, Rejected: 100, Violations: 9, RejectionRate: 0.1, MeanResponse: 0.2},
+		{Client: "batch", SLOClass: "batch", Accepted: 300, Violations: 30, MeanResponse: 0.45},
+		{Client: "web", SLOClass: "interactive", Accepted: 100, Rejected: 300, Violations: 1, RejectionRate: 0.75, MeanResponse: 0.3},
+	}
+	return []metrics.Result{{Policy: "Adaptive", Clients: clients}, {Policy: "Static-5"}}
+}
+
+func TestClientBreakdownTableGolden(t *testing.T) {
+	want := "tiny client panel\n" +
+		"policy    client   slo class    accepted  rejected  rejection  resp mean  violations\n" +
+		"Adaptive  api      interactive  900       100       0.1000     0.2        9\n" +
+		"Adaptive  batch    batch        300       0         0.0000     0.45       30\n" +
+		"Adaptive  web      interactive  100       300       0.7500     0.3        1\n" +
+		"Adaptive  (class)  batch        300       0         0.0000     0.45       30\n" +
+		"Adaptive  (class)  interactive  1000      400       0.2857     0.21       10\n"
+	if got := ClientBreakdownTable("tiny client panel", tinyClientResults()); got != want {
+		t.Errorf("ClientBreakdownTable changed:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestClientBreakdownCSVGolden(t *testing.T) {
+	want := "policy,row_type,client,slo_class,accepted,rejected,rejection_rate,mean_response_s,violations\n" +
+		"Adaptive,client,api,interactive,900,100,0.100000,0.200000,9\n" +
+		"Adaptive,client,batch,batch,300,0,0.000000,0.450000,30\n" +
+		"Adaptive,client,web,interactive,100,300,0.750000,0.300000,1\n" +
+		"Adaptive,class,,batch,300,0,0.000000,0.450000,30\n" +
+		"Adaptive,class,,interactive,1000,400,0.285714,0.210000,10\n"
+	if got := ClientBreakdownCSV(tinyClientResults()); got != want {
+		t.Errorf("ClientBreakdownCSV changed:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// Results without client rows render as "" so single-source panels keep
+// their historical output shape.
+func TestClientBreakdownEmpty(t *testing.T) {
+	noClients := tinyPanelResults()
+	if got := ClientBreakdownTable("caption", noClients); got != "" {
+		t.Errorf("ClientBreakdownTable on clientless results = %q, want \"\"", got)
+	}
+	if got := ClientBreakdownCSV(noClients); got != "" {
+		t.Errorf("ClientBreakdownCSV on clientless results = %q, want \"\"", got)
+	}
+}
+
 func TestFormatGoldenEmpty(t *testing.T) {
 	table := FigureTable("empty", nil)
 	if table != "empty\npolicy  min inst  max inst  rejection  utilization  VM hours  resp mean  resp sd  violations  served  crashes  avail\n" {

@@ -158,7 +158,7 @@ func TestRunOnceSeriesDeterminism(t *testing.T) {
 	for _, pol := range []Policy{AdaptivePolicy(), StaticPolicy(5)} {
 		r1, s1 := RunOnce(sc, pol, 7, RunOptions{TrackSeries: true})
 		r2, s2 := RunOnce(sc, pol, 7, RunOptions{TrackSeries: true})
-		if r1 != r2 {
+		if !metrics.Equal(r1, r2) {
 			t.Errorf("%s: results differ across identical runs:\n%+v\n%+v", pol.Name, r1, r2)
 		}
 		if len(s1) != len(s2) || seriesHash(s1) != seriesHash(s2) {
@@ -184,7 +184,7 @@ func TestRunWorkerIndependence(t *testing.T) {
 			t.Fatalf("%s: replication counts differ: %d vs %d", pol.Name, len(seq), len(par))
 		}
 		for i := range seq {
-			if seq[i] != par[i] {
+			if !metrics.Equal(seq[i], par[i]) {
 				t.Errorf("%s rep %d: workers=1 and workers=8 disagree:\n%+v\n%+v",
 					pol.Name, i, seq[i], par[i])
 			}

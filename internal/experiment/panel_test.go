@@ -3,6 +3,8 @@ package experiment
 import (
 	"strings"
 	"testing"
+
+	"vmprov/internal/metrics"
 )
 
 func TestPanelCompileExpandsStaticWildcard(t *testing.T) {
@@ -132,7 +134,7 @@ func TestPanelRunMultiScenario(t *testing.T) {
 	}
 	// Identical specs under different names must produce identical rows.
 	for i := range results[0].Results {
-		if results[0].Results[i] != results[1].Results[i] {
+		if !metrics.Equal(results[0].Results[i], results[1].Results[i]) {
 			t.Errorf("row %d differs between identical scenarios", i)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"vmprov/internal/metrics"
 	"vmprov/internal/workload"
 )
 
@@ -47,7 +48,7 @@ func TestResolvedPolicyMatchesProgrammatic(t *testing.T) {
 	}
 	a, _ := RunOnce(sc, fromReg, 11, RunOptions{})
 	b, _ := RunOnce(sc, StaticPolicy(5), 11, RunOptions{})
-	if a != b {
+	if !metrics.Equal(a, b) {
 		t.Fatalf("registry static differs from programmatic:\n%+v\n%+v", a, b)
 	}
 
@@ -57,7 +58,7 @@ func TestResolvedPolicyMatchesProgrammatic(t *testing.T) {
 	}
 	c, _ := RunOnce(sc, ad, 11, RunOptions{})
 	d, _ := RunOnce(sc, AdaptivePolicy(), 11, RunOptions{})
-	if c != d {
+	if !metrics.Equal(c, d) {
 		t.Fatalf("registry adaptive differs from programmatic:\n%+v\n%+v", c, d)
 	}
 }

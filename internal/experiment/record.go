@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/trace"
+	"vmprov/internal/workload"
+)
+
+// RecordTrace runs only the scenario's workload source at the given seed
+// and streams every generated arrival to w as a v2 trace (header with
+// the scenario's client roster, one record per request). The source sees
+// exactly the RNG stream a real replication would hand it, and requests
+// are emitted in kernel event order, so replaying the trace through the
+// "tracev2" workload kind against the same provisioner configuration
+// reproduces the original run's workload-derived metrics bit for bit
+// (kernel event counts differ: replay walks a pre-materialized batch
+// instead of the generator's event chain). Returns the record count.
+func RecordTrace(sc Scenario, seed uint64, w io.Writer) (int, error) {
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	clients := make([]trace.ClientV2, len(sc.Clients))
+	for i, c := range sc.Clients {
+		clients[i] = trace.ClientV2{Name: c.Name, SLOClass: c.SLOClass}
+	}
+	tw, err := trace.NewWriterV2(w, clients)
+	if err != nil {
+		return 0, err
+	}
+	s := sim.New()
+	src := sc.NewSource()
+	var werr error
+	src.Start(s, stats.NewRNG(seed), func(q workload.Request) {
+		if werr != nil {
+			return
+		}
+		werr = tw.Record(trace.RecordV2{
+			T:      q.Arrival,
+			Client: q.Client,
+			Size:   q.Service,
+			Class:  q.Class,
+		})
+	})
+	s.RunUntil(sc.Horizon)
+	if werr != nil {
+		return tw.Count(), fmt.Errorf("experiment: recording %q: %w", sc.Name, werr)
+	}
+	return tw.Count(), nil
+}

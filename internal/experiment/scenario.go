@@ -36,6 +36,11 @@ type Scenario struct {
 	// scaled to this scenario's Scale.
 	StaticFleets []int
 
+	// Clients lists the workload's client cohorts (multi-client kinds);
+	// nil for single-source scenarios. Runs declare them to the metrics
+	// collector so every cohort gets a result row, traffic or not.
+	Clients []workload.ClientInfo
+
 	// Placement selects the data center's VM-to-host policy (paper
 	// default: least-loaded).
 	Placement cloud.Placement

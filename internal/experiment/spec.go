@@ -68,6 +68,7 @@ func (sp ScenarioSpec) Compile() (Scenario, error) {
 		Placement:    sp.Placement,
 		Fault:        sp.Fault,
 		NewSource:    b.NewSource,
+		Clients:      b.Clients,
 	}
 	horizon := sp.Horizon
 	newAnalyzer := b.NewAnalyzer

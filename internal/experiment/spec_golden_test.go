@@ -13,6 +13,7 @@ import (
 //	go run ./cmd/vmprovsim -dumpspec web -reps 3 -seed 1 > examples/specs/web_panel.json
 //	go run ./cmd/vmprovsim -dumpspec scientific -reps 3 -seed 1 > examples/specs/scientific_panel.json
 //	go run ./cmd/vmprovsim -dumpspec web-fault -reps 3 -seed 1 > examples/specs/web_fault_panel.json
+//	go run ./cmd/vmprovsim -dumpspec web-multi -reps 3 -seed 1 > examples/specs/web_multiclient_panel.json
 func TestGoldenSpecFiles(t *testing.T) {
 	cases := []struct {
 		file string
@@ -21,6 +22,7 @@ func TestGoldenSpecFiles(t *testing.T) {
 		{"web_panel.json", func() (PanelSpec, error) { return PaperPanel("web", 0, 3, 1) }},
 		{"scientific_panel.json", func() (PanelSpec, error) { return PaperPanel("scientific", 0, 3, 1) }},
 		{"web_fault_panel.json", func() (PanelSpec, error) { return FaultPanel(0, 3, 1) }},
+		{"web_multiclient_panel.json", func() (PanelSpec, error) { return MultiClientPanel(0, 3, 1) }},
 	}
 	for _, c := range cases {
 		path := filepath.Join("..", "..", "examples", "specs", c.file)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"vmprov/internal/cloud"
+	"vmprov/internal/metrics"
 	"vmprov/internal/provision"
 	"vmprov/internal/stats"
 	"vmprov/internal/workload"
@@ -56,7 +57,7 @@ func TestSpecPanelMatchesRunAll(t *testing.T) {
 				t.Fatalf("panel has %d policy rows, RunAll %d", len(got[0].Results), len(want))
 			}
 			for i := range want {
-				if got[0].Results[i] != want[i] {
+				if !metrics.Equal(got[0].Results[i], want[i]) {
 					t.Errorf("row %d (%s) differs:\nspec:        %+v\nprogrammatic: %+v",
 						i, want[i].Policy, got[0].Results[i], want[i])
 				}

@@ -67,6 +67,7 @@ func (rc *RunContext) Run(sc Scenario, pol Policy, seed uint64, opts RunOptions)
 	dc.Reset()
 	dc.SetPlacement(sc.Placement)
 	col.Reset(sc.Cfg.QoS.Ts)
+	col.DeclareClients(sc.Clients)
 	col.TrackSeries = opts.TrackSeries
 	rng := stats.NewRNG(seed)
 	var provider cloud.Provider = dc

@@ -41,7 +41,7 @@ func TestSweepMatchesRunOnce(t *testing.T) {
 			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(jobs))
 		}
 		for i := range got {
-			if got[i] != want[i] {
+			if !metrics.Equal(got[i], want[i]) {
 				t.Fatalf("workers=%d job %d (%s seed %d) differs from RunOnce:\nsweep: %+v\nonce:  %+v",
 					workers, i, jobs[i].Policy.Name, jobs[i].Seed, got[i], want[i])
 			}
@@ -73,7 +73,7 @@ func TestSweepOnReplication(t *testing.T) {
 		if seen[i] == nil {
 			t.Fatalf("job %d never reported", i)
 		}
-		if *seen[i] != got[i] {
+		if !metrics.Equal(*seen[i], got[i]) {
 			t.Fatalf("job %d callback result differs from returned result", i)
 		}
 	}
@@ -104,13 +104,13 @@ func TestRunContextReuse(t *testing.T) {
 	mid, _ := rc.Run(sci, pol, 9, RunOptions{})
 	again, _ := rc.Run(web, pol, 9, RunOptions{})
 
-	if first != fresh1 {
+	if !metrics.Equal(first, fresh1) {
 		t.Fatalf("cold pooled context differs from fresh RunOnce:\n%+v\n%+v", first, fresh1)
 	}
-	if mid != fresh2 {
+	if !metrics.Equal(mid, fresh2) {
 		t.Fatalf("pooled context after one run differs from fresh RunOnce:\n%+v\n%+v", mid, fresh2)
 	}
-	if again != fresh1 {
+	if !metrics.Equal(again, fresh1) {
 		t.Fatalf("warmed pooled context differs from fresh RunOnce:\n%+v\n%+v", again, fresh1)
 	}
 }

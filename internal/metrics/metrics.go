@@ -9,6 +9,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -32,6 +33,8 @@ type Collector struct {
 
 	class0  classStats          // inline stats for the default class, avoiding a map op per request
 	classes map[int]*classStats // accounting for non-zero priority classes
+
+	clients map[string]*clientStats // per-client accounting; touched only for tagged requests
 
 	instances   stats.TimeWeighted // running-instance count over time
 	everScaled  bool
@@ -70,6 +73,39 @@ func NewCollector(ts float64) *Collector {
 		ts:       ts,
 		respHist: stats.NewHistogram(0, 4*ts, 2048),
 		classes:  make(map[int]*classStats),
+		clients:  make(map[string]*clientStats),
+	}
+}
+
+// clientStats accumulates one client cohort's view of the run. Like
+// classStats, only the mean response is reported per client, so plain
+// sums suffice.
+type clientStats struct {
+	slo      string
+	accepted uint64
+	rejected uint64
+	violated uint64
+	respSum  float64
+}
+
+// client resolves the accumulator for a client tag, creating it on first
+// sight. The single-source hot path (empty tag) never calls this.
+func (c *Collector) client(name string) *clientStats {
+	cs := c.clients[name]
+	if cs == nil {
+		cs = &clientStats{}
+		c.clients[name] = cs
+	}
+	return cs
+}
+
+// DeclareClients pre-registers the workload's client cohorts, binding
+// each name to its SLO class and guaranteeing a result row even for a
+// client that generated no traffic this run. Tags encountered without a
+// declaration still get rows, with an empty SLO class.
+func (c *Collector) DeclareClients(infos []workload.ClientInfo) {
+	for _, ci := range infos {
+		c.client(ci.Name).slo = ci.SLOClass
 	}
 }
 
@@ -111,6 +147,7 @@ func (c *Collector) Reset(ts float64) {
 	c.accepted, c.rejected, c.violated, c.missed = 0, 0, 0, 0
 	c.class0 = classStats{}
 	clear(c.classes)
+	clear(c.clients)
 	c.instances = stats.TimeWeighted{}
 	c.everScaled = false
 	c.vmSeconds, c.busySeconds = 0, 0
@@ -140,12 +177,23 @@ func (c *Collector) Complete(req workload.Request, start, finish float64) {
 		c.missed++
 		cs.missed++
 	}
+	if req.Client != "" {
+		cl := c.client(req.Client)
+		cl.accepted++
+		cl.respSum += resp
+		if resp > c.ts {
+			cl.violated++
+		}
+	}
 }
 
 // Reject records one request turned away by admission control.
 func (c *Collector) Reject(req workload.Request) {
 	c.rejected++
 	c.class(req.Class).rejected++
+	if req.Client != "" {
+		c.client(req.Client).rejected++
+	}
 }
 
 // Displace records a waiting request evicted by a higher-priority arrival
@@ -155,6 +203,9 @@ func (c *Collector) Displace(req workload.Request) {
 	cs := c.class(req.Class)
 	cs.rejected++
 	cs.displaced++
+	if req.Client != "" {
+		c.client(req.Client).rejected++
+	}
 }
 
 // SetInstances records that n instances are running at time t. The
@@ -255,6 +306,41 @@ type Result struct {
 	Availability       float64 // 1 − time-weighted target-deficit fraction
 
 	Events uint64 // kernel events executed during the run (throughput accounting)
+
+	// Clients breaks the run down per client cohort (multi-client
+	// workloads), sorted by client name; nil for single-source runs.
+	// NOTE: this slice makes Result non-comparable — compare results
+	// with Equal, not ==.
+	Clients []ClientResult
+}
+
+// ClientResult is one client cohort's slice of the run (multi-client
+// workloads). SLOClass carries the cohort's declared service class so
+// reports can also group rows per SLO class.
+type ClientResult struct {
+	Client        string
+	SLOClass      string
+	Accepted      uint64
+	Rejected      uint64
+	Violations    uint64 // accepted requests with response > Ts
+	RejectionRate float64
+	MeanResponse  float64
+}
+
+// Equal reports whether two results are identical, per-client rows
+// included. It replaces == comparisons, which stopped compiling when
+// Result gained the Clients slice.
+func Equal(a, b Result) bool {
+	if len(a.Clients) != len(b.Clients) {
+		return false
+	}
+	for i := range a.Clients {
+		if a.Clients[i] != b.Clients[i] {
+			return false
+		}
+	}
+	a.Clients, b.Clients = nil, nil
+	return reflect.DeepEqual(a, b)
 }
 
 // Result finalizes the run at time end. The caller must already have
@@ -307,7 +393,40 @@ func (c *Collector) Result(policy string, end float64) Result {
 	if c.vmSeconds > 0 {
 		r.Utilization = c.busySeconds / c.vmSeconds
 	}
+	r.Clients = c.ClientResults()
 	return r
+}
+
+// ClientResults returns per-client metrics sorted by client name; nil
+// when the run saw no tagged requests and no declarations.
+func (c *Collector) ClientResults() []ClientResult {
+	if len(c.clients) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(c.clients))
+	for name := range c.clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ClientResult, 0, len(names))
+	for _, name := range names {
+		cs := c.clients[name]
+		r := ClientResult{
+			Client:     name,
+			SLOClass:   cs.slo,
+			Accepted:   cs.accepted,
+			Rejected:   cs.rejected,
+			Violations: cs.violated,
+		}
+		if cs.accepted > 0 {
+			r.MeanResponse = cs.respSum / float64(cs.accepted)
+		}
+		if offered := cs.accepted + cs.rejected; offered > 0 {
+			r.RejectionRate = float64(cs.rejected) / float64(offered)
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // ClassResult is one priority class's slice of the run (SLA extension).
@@ -351,6 +470,55 @@ func classResult(class int, cs *classStats) ClassResult {
 		r.RejectionRate = float64(cs.rejected) / float64(offered)
 	}
 	return r
+}
+
+// SLOClassResults folds per-client rows into one row per SLO class:
+// counts sum, the rejection rate is recomputed from the summed counts,
+// and the mean response is the acceptance-weighted mean. The returned
+// rows carry the class name in SLOClass (and an empty Client); clients
+// without a declared class group under the empty class. Rows sort by
+// class name.
+func SLOClassResults(clients []ClientResult) []ClientResult {
+	if len(clients) == 0 {
+		return nil
+	}
+	type acc struct {
+		accepted, rejected, violated uint64
+		respSum                      float64
+	}
+	byClass := make(map[string]*acc)
+	var classes []string
+	for _, cr := range clients {
+		a := byClass[cr.SLOClass]
+		if a == nil {
+			a = &acc{}
+			byClass[cr.SLOClass] = a
+			classes = append(classes, cr.SLOClass)
+		}
+		a.accepted += cr.Accepted
+		a.rejected += cr.Rejected
+		a.violated += cr.Violations
+		a.respSum += cr.MeanResponse * float64(cr.Accepted)
+	}
+	sort.Strings(classes)
+	out := make([]ClientResult, 0, len(classes))
+	for _, class := range classes {
+		a := byClass[class]
+		r := ClientResult{
+			SLOClass:   class,
+			Accepted:   a.accepted,
+			Rejected:   a.rejected,
+			Violations: a.violated,
+		}
+		if a.accepted > 0 {
+			r.MeanResponse = a.respSum / float64(a.accepted)
+		}
+		if offered := a.accepted + a.rejected; offered > 0 {
+			r.RejectionRate = float64(a.rejected) / float64(offered)
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // String formats the result as one readable block.
@@ -445,5 +613,53 @@ func Aggregate(results []Result) Result {
 	agg.CapacityShortfalls = uint64(shortfall / n)
 	agg.MTTR = mttr / n
 	agg.Availability = avail / n
+	agg.Clients = aggregateClients(results)
 	return agg
+}
+
+// aggregateClients merges per-client rows across replications by client
+// name, averaging every scalar the way the run-level fields are
+// averaged. Rows are sorted by name, matching ClientResults.
+func aggregateClients(results []Result) []ClientResult {
+	type acc struct {
+		slo                 string
+		accepted, rejected  float64
+		violated, rej, resp float64
+	}
+	n := float64(len(results))
+	byName := make(map[string]*acc)
+	var names []string
+	for _, r := range results {
+		for _, cr := range r.Clients {
+			a := byName[cr.Client]
+			if a == nil {
+				a = &acc{slo: cr.SLOClass}
+				byName[cr.Client] = a
+				names = append(names, cr.Client)
+			}
+			a.accepted += float64(cr.Accepted)
+			a.rejected += float64(cr.Rejected)
+			a.violated += float64(cr.Violations)
+			a.rej += cr.RejectionRate
+			a.resp += cr.MeanResponse
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	out := make([]ClientResult, 0, len(names))
+	for _, name := range names {
+		a := byName[name]
+		out = append(out, ClientResult{
+			Client:        name,
+			SLOClass:      a.slo,
+			Accepted:      uint64(a.accepted / n),
+			Rejected:      uint64(a.rejected / n),
+			Violations:    uint64(a.violated / n),
+			RejectionRate: a.rej / n,
+			MeanResponse:  a.resp / n,
+		})
+	}
+	return out
 }

@@ -117,10 +117,10 @@ func TestAggregate(t *testing.T) {
 }
 
 func TestAggregateEmpty(t *testing.T) {
-	if agg := Aggregate(nil); agg != (Result{}) {
+	if agg := Aggregate(nil); !Equal(agg, Result{}) {
 		t.Fatalf("empty aggregate nonzero: %+v", agg)
 	}
-	if agg := Aggregate([]Result{}); agg != (Result{}) {
+	if agg := Aggregate([]Result{}); !Equal(agg, Result{}) {
 		t.Fatalf("zero-length aggregate nonzero: %+v", agg)
 	}
 }
@@ -130,7 +130,7 @@ func TestAggregateSingle(t *testing.T) {
 		AvgInstances: 5, VMHours: 12, Utilization: 0.75, RejectionRate: 0.1,
 		MeanResponse: 1.5, StdResponse: 0.2, MaxResponse: 4, MeanExec: 1,
 		MeanWait: 0.5, Accepted: 90, Rejected: 10, Violations: 2, Events: 500}
-	if agg := Aggregate([]Result{r}); agg != r {
+	if agg := Aggregate([]Result{r}); !Equal(agg, r) {
 		t.Fatalf("single-run aggregate is not the identity:\n%+v\n%+v", agg, r)
 	}
 }
@@ -212,5 +212,99 @@ func TestClassResultsDescending(t *testing.T) {
 	}
 	if out[2].Accepted != 1 || out[2].Rejected != 0 {
 		t.Fatalf("class 0 counts wrong: %+v", out[2])
+	}
+}
+
+// creq builds a class-0 request from the named client.
+func creq(client string, arrival float64) workload.Request {
+	return workload.Request{Arrival: arrival, Client: client}
+}
+
+func TestClientResults(t *testing.T) {
+	c := NewCollector(2.0)
+	c.DeclareClients([]workload.ClientInfo{
+		{Name: "web", SLOClass: "interactive"},
+		{Name: "batch", SLOClass: "batch"},
+		{Name: "idle", SLOClass: "best-effort"},
+	})
+	c.Complete(creq("web", 0), 0.5, 1) // response 1: ok
+	c.Complete(creq("web", 0), 1, 3)   // response 3: violation
+	c.Reject(creq("web", 5))
+	c.Complete(creq("batch", 0), 2, 4) // response 4: violation
+	c.Displace(creq("batch", 6))
+	c.Complete(req(0), 0, 1) // untagged: no client row
+
+	r := c.Result("p", 10)
+	want := []ClientResult{
+		{Client: "batch", SLOClass: "batch", Accepted: 1, Rejected: 1, Violations: 1,
+			RejectionRate: 0.5, MeanResponse: 4},
+		{Client: "idle", SLOClass: "best-effort"},
+		{Client: "web", SLOClass: "interactive", Accepted: 2, Rejected: 1, Violations: 1,
+			RejectionRate: 1.0 / 3.0, MeanResponse: 2},
+	}
+	if len(r.Clients) != len(want) {
+		t.Fatalf("client rows = %+v, want %+v", r.Clients, want)
+	}
+	for i := range want {
+		if r.Clients[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, r.Clients[i], want[i])
+		}
+	}
+	// The run-level totals still include the untagged request.
+	if r.Accepted != 4 || r.Rejected != 2 {
+		t.Fatalf("run totals wrong: %+v", r)
+	}
+
+	// Reset drops the declarations and the rows.
+	c.Reset(2.0)
+	if got := c.Result("p", 10).Clients; got != nil {
+		t.Fatalf("client rows survived Reset: %+v", got)
+	}
+
+	// An undeclared tag still earns a row, with no SLO class.
+	c.Complete(creq("ghost", 0), 0, 1)
+	if got := c.Result("p", 10).Clients; len(got) != 1 || got[0].Client != "ghost" || got[0].SLOClass != "" {
+		t.Fatalf("undeclared client rows = %+v", got)
+	}
+}
+
+func TestAggregateClients(t *testing.T) {
+	a := Result{Clients: []ClientResult{
+		{Client: "batch", SLOClass: "batch", Accepted: 10, Rejected: 2, RejectionRate: 2.0 / 12, MeanResponse: 1},
+		{Client: "web", SLOClass: "interactive", Accepted: 20, Violations: 4, MeanResponse: 2},
+	}}
+	b := Result{Clients: []ClientResult{
+		{Client: "batch", SLOClass: "batch", Accepted: 14, Rejected: 0, RejectionRate: 0, MeanResponse: 3},
+		{Client: "web", SLOClass: "interactive", Accepted: 22, Violations: 6, MeanResponse: 4},
+	}}
+	agg := Aggregate([]Result{a, b})
+	want := []ClientResult{
+		{Client: "batch", SLOClass: "batch", Accepted: 12, Rejected: 1, RejectionRate: 1.0 / 12, MeanResponse: 2},
+		{Client: "web", SLOClass: "interactive", Accepted: 21, Violations: 5, MeanResponse: 3},
+	}
+	if len(agg.Clients) != len(want) {
+		t.Fatalf("aggregated rows = %+v", agg.Clients)
+	}
+	for i := range want {
+		if agg.Clients[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, agg.Clients[i], want[i])
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Result{Policy: "p", Accepted: 1, Clients: []ClientResult{{Client: "x", Accepted: 1}}}
+	b := Result{Policy: "p", Accepted: 1, Clients: []ClientResult{{Client: "x", Accepted: 1}}}
+	if !Equal(a, b) {
+		t.Fatal("identical results compare unequal")
+	}
+	b.Clients[0].Accepted = 2
+	if Equal(a, b) {
+		t.Fatal("differing client rows compare equal")
+	}
+	b.Clients[0].Accepted = 1
+	b.Accepted = 2
+	if Equal(a, b) {
+		t.Fatal("differing scalars compare equal")
 	}
 }

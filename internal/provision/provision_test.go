@@ -409,7 +409,7 @@ func TestAdaptiveDeterministicReplication(t *testing.T) {
 		return r.col.Result("a", r.sim.Now())
 	}
 	a, b := run(), run()
-	if a != b {
+	if !metrics.Equal(a, b) {
 		t.Fatalf("replications differ:\n%+v\n%+v", a, b)
 	}
 }

@@ -152,6 +152,59 @@ func (p Pareto) Mean() float64 {
 	return p.Alpha * p.Xm / (p.Alpha - 1)
 }
 
+// Gamma is the gamma distribution with the given Shape (k) and Scale (θ).
+// With Shape = 1/cv² and Scale = cv² it has unit mean and coefficient of
+// variation cv, which is how the multi-client workload layer shapes
+// bursty (cv > 1) or regular (cv < 1) renewal interarrivals.
+type Gamma struct{ Shape, Scale float64 }
+
+// Sample draws a gamma variate by the Marsaglia–Tsang squeeze method
+// (boosted to shape ≥ 1 by the U^{1/k} transform for fractional shapes).
+// The rejection loop consumes a data-dependent number of variates, which
+// is fine: samplers own a dedicated substream, so downstream draws are
+// unaffected.
+func (g Gamma) Sample(r *RNG) float64 {
+	k := g.Shape
+	boost := 1.0
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) · U^{1/k}.
+		boost = math.Pow(r.Float64(), 1/k)
+		k++
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return g.Scale * boost * d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return g.Scale * boost * d * v
+		}
+	}
+}
+
+// Mean returns Shape · Scale.
+func (g Gamma) Mean() float64 { return g.Shape * g.Scale }
+
+// Var returns the analytic variance Shape · Scale².
+func (g Gamma) Var() float64 { return g.Shape * g.Scale * g.Scale }
+
+// UnitMeanGamma returns the unit-mean gamma distribution with the given
+// coefficient of variation: Gamma(1/cv², cv²).
+func UnitMeanGamma(cv float64) Gamma {
+	return Gamma{Shape: 1 / (cv * cv), Scale: cv * cv}
+}
+
 // Scaled wraps a Sampler, multiplying every variate by Factor. It is used
 // by the workload models to add the paper's uniform 0–10% service-time
 // jitter as service = base · (1 + U(0, 0.1)).
@@ -212,6 +265,10 @@ func Validate(s Sampler) error {
 	case Weibull:
 		if d.Shape <= 0 || d.Scale <= 0 {
 			return fmt.Errorf("stats: weibull shape and scale must be positive, got (%v, %v)", d.Shape, d.Scale)
+		}
+	case Gamma:
+		if d.Shape <= 0 || d.Scale <= 0 {
+			return fmt.Errorf("stats: gamma shape and scale must be positive, got (%v, %v)", d.Shape, d.Scale)
 		}
 	case Erlang:
 		if d.K <= 0 || d.Rate <= 0 {

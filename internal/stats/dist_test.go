@@ -238,3 +238,36 @@ func TestValidate(t *testing.T) {
 		}
 	}
 }
+
+func TestGammaMoments(t *testing.T) {
+	for _, d := range []Gamma{
+		{Shape: 0.25, Scale: 4},  // cv 2, unit mean
+		{Shape: 4, Scale: 0.25},  // cv 0.5, unit mean
+		{Shape: 1, Scale: 3},     // reduces to exponential mean 3
+		{Shape: 7.3, Scale: 1.9}, // generic
+	} {
+		mean, v := sampleMoments(t, d, 300000, 11)
+		within(t, mean, d.Mean(), 0.02, "gamma mean")
+		within(t, v, d.Var(), 0.06, "gamma var")
+	}
+}
+
+func TestUnitMeanGammaCV(t *testing.T) {
+	for _, cv := range []float64{0.5, 1, 2, 3} {
+		d := UnitMeanGamma(cv)
+		mean, v := sampleMoments(t, d, 400000, 12)
+		within(t, mean, 1, 0.02, "unit-mean gamma mean")
+		within(t, math.Sqrt(v)/mean, cv, 0.05, "unit-mean gamma cv")
+	}
+}
+
+func TestGammaPositiveProperty(t *testing.T) {
+	r := NewRNG(13)
+	for _, d := range []Gamma{{Shape: 0.1, Scale: 1}, {Shape: 0.9, Scale: 2}, {Shape: 12, Scale: 0.5}} {
+		for i := 0; i < 20000; i++ {
+			if x := d.Sample(r); x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("gamma%+v produced invalid variate %v", d, x)
+			}
+		}
+	}
+}

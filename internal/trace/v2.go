@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Trace format v2 is the versioned arrival-trace interchange format: a
+// JSONL stream whose first line is a self-describing header (format name,
+// version, field list, units, client roster) followed by one record per
+// request. Unlike the package's event stream (Event), which audits a
+// *run*, a v2 trace captures a *workload* — exactly the information the
+// "tracev2" workload kind needs to replay the same arrivals bit-for-bit.
+//
+// The format is strict in both directions: the writer refuses records
+// that would not decode (out-of-order timestamps, undeclared clients,
+// non-positive sizes), and the decoder rejects malformed input with
+// line-numbered errors instead of guessing.
+
+// V2Format is the header's format tag.
+const V2Format = "vmprov-trace"
+
+// V2Version is the trace format version this package reads and writes.
+const V2Version = 2
+
+// v2Fields is the canonical record field list, in record-key order.
+var v2Fields = []string{"t", "client", "size", "class"}
+
+// v2Units maps dimensioned fields to their units. Both timestamps and
+// service sizes are in seconds of simulated time.
+var v2Units = map[string]string{"t": "s", "size": "s"}
+
+// ClientV2 declares one client cohort in a trace header: the tag records
+// carry and the SLO class reports group it under. It mirrors
+// workload.ClientInfo without importing it (workload imports this
+// package for replay).
+type ClientV2 struct {
+	Name     string `json:"name"`
+	SLOClass string `json:"slo_class,omitempty"`
+}
+
+// HeaderV2 is the first line of a v2 trace.
+type HeaderV2 struct {
+	Format  string            `json:"format"`
+	Version int               `json:"version"`
+	Fields  []string          `json:"fields"`
+	Units   map[string]string `json:"units"`
+	Clients []ClientV2        `json:"clients,omitempty"`
+}
+
+// NewHeaderV2 returns the canonical v2 header for the given client
+// roster. A nil roster describes a single-source trace whose records
+// carry no client tags.
+func NewHeaderV2(clients []ClientV2) HeaderV2 {
+	return HeaderV2{
+		Format:  V2Format,
+		Version: V2Version,
+		Fields:  append([]string(nil), v2Fields...),
+		Units:   map[string]string{"t": v2Units["t"], "size": v2Units["size"]},
+		Clients: append([]ClientV2(nil), clients...),
+	}
+}
+
+// validate checks the header invariants shared by encoder and decoder.
+func (h HeaderV2) validate() error {
+	if h.Format != V2Format {
+		return fmt.Errorf("format %q, want %q", h.Format, V2Format)
+	}
+	if h.Version != V2Version {
+		return fmt.Errorf("unsupported trace version %d (decoder supports %d)", h.Version, V2Version)
+	}
+	if len(h.Fields) != len(v2Fields) {
+		return fmt.Errorf("fields %v, want %v", h.Fields, v2Fields)
+	}
+	for i, f := range h.Fields {
+		if f != v2Fields[i] {
+			return fmt.Errorf("fields %v, want %v", h.Fields, v2Fields)
+		}
+	}
+	for _, f := range v2Fields {
+		want, dimensioned := v2Units[f]
+		if got := h.Units[f]; dimensioned && got != want {
+			return fmt.Errorf("unit for %q is %q, want %q", f, got, want)
+		}
+	}
+	if len(h.Units) != len(v2Units) {
+		keys := make([]string, 0, len(h.Units))
+		for k := range h.Units {
+			if _, ok := v2Units[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		return fmt.Errorf("units declared for dimensionless fields: %s", strings.Join(keys, ", "))
+	}
+	seen := make(map[string]bool, len(h.Clients))
+	var dups []string
+	for i, c := range h.Clients {
+		if c.Name == "" {
+			return fmt.Errorf("client %d has an empty name", i)
+		}
+		if seen[c.Name] {
+			dups = append(dups, c.Name)
+			continue
+		}
+		seen[c.Name] = true
+	}
+	if len(dups) > 0 {
+		sort.Strings(dups)
+		return fmt.Errorf("duplicate trace clients: %s (client names must be unique)", strings.Join(dups, ", "))
+	}
+	return nil
+}
+
+// clientSet returns the declared client names.
+func (h HeaderV2) clientSet() map[string]bool {
+	set := make(map[string]bool, len(h.Clients))
+	for _, c := range h.Clients {
+		set[c.Name] = true
+	}
+	return set
+}
+
+// RecordV2 is one arrival in a v2 trace: the request reaches the
+// provisioner at T needing Size seconds of execution. Client tags the
+// cohort (must be declared in the header; empty iff the header declares
+// no clients) and Class is the optional priority class.
+type RecordV2 struct {
+	T      float64 `json:"t"`
+	Client string  `json:"client,omitempty"`
+	Size   float64 `json:"size"`
+	Class  int     `json:"class,omitempty"`
+}
+
+// validate checks one record against the header's client roster and the
+// previous timestamp. Used by both the writer and the decoder so a trace
+// that encodes is guaranteed to decode.
+func (rec RecordV2) validate(clients map[string]bool, prev float64) error {
+	if math.IsNaN(rec.T) || math.IsInf(rec.T, 0) || rec.T < 0 {
+		return fmt.Errorf("timestamp %v must be finite and non-negative", rec.T)
+	}
+	if rec.T < prev {
+		return fmt.Errorf("out-of-order timestamp %v after %v (records must be time-sorted)", rec.T, prev)
+	}
+	if math.IsNaN(rec.Size) || math.IsInf(rec.Size, 0) || rec.Size <= 0 {
+		return fmt.Errorf("size %v must be finite and positive", rec.Size)
+	}
+	if rec.Class < 0 {
+		return fmt.Errorf("class %d must be non-negative", rec.Class)
+	}
+	if len(clients) == 0 {
+		if rec.Client != "" {
+			return fmt.Errorf("client %q tagged but the header declares no clients", rec.Client)
+		}
+		return nil
+	}
+	if !clients[rec.Client] {
+		names := make([]string, 0, len(clients))
+		for n := range clients {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("client %q is not declared in the header (declared: %s)",
+			rec.Client, strings.Join(names, ", "))
+	}
+	return nil
+}
+
+// DecodeError reports where a malformed trace was rejected. Line is
+// 1-based; the header is line 1.
+type DecodeError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error with the line number up front.
+func (e *DecodeError) Error() string { return fmt.Sprintf("trace: line %d: %s", e.Line, e.Msg) }
+
+func decodeErrf(line int, format string, args ...any) *DecodeError {
+	return &DecodeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// WriterV2 streams a v2 trace: the header on creation, then one record
+// per Record call. It enforces the format invariants at write time so
+// every successfully written trace decodes.
+type WriterV2 struct {
+	enc     *json.Encoder
+	clients map[string]bool
+	prev    float64
+	n       int
+}
+
+// NewWriterV2 writes the header for the given client roster and returns
+// a record writer. The roster order is preserved in the header.
+func NewWriterV2(w io.Writer, clients []ClientV2) (*WriterV2, error) {
+	h := NewHeaderV2(clients)
+	if err := h.validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid header: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(h); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &WriterV2{enc: enc, clients: h.clientSet()}, nil
+}
+
+// Record appends one record, rejecting records that would not decode.
+func (w *WriterV2) Record(rec RecordV2) error {
+	if err := rec.validate(w.clients, w.prev); err != nil {
+		return fmt.Errorf("trace: record %d: %w", w.n+1, err)
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("trace: write record %d: %w", w.n+1, err)
+	}
+	w.prev = rec.T
+	w.n++
+	return nil
+}
+
+// Count returns how many records were written.
+func (w *WriterV2) Count() int { return w.n }
+
+// EncodeV2 writes a complete v2 trace (header plus records) to w.
+func EncodeV2(w io.Writer, clients []ClientV2, recs []RecordV2) error {
+	tw, err := NewWriterV2(w, clients)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := tw.Record(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeV2 parses a v2 trace, validating strictly: every syntax error,
+// header mismatch, unknown field, undeclared client, or out-of-order
+// timestamp is rejected with a *DecodeError carrying the 1-based line
+// number. A header-only trace decodes to zero records; whether that is
+// acceptable is the caller's policy.
+func DecodeV2(r io.Reader) (HeaderV2, []RecordV2, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	line := 0
+	nextLine := func() ([]byte, bool, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, false, decodeErrf(line+1, "read: %v", err)
+			}
+			return nil, false, nil
+		}
+		line++
+		return sc.Bytes(), true, nil
+	}
+
+	var hdr HeaderV2
+	raw, ok, err := nextLine()
+	if err != nil {
+		return HeaderV2{}, nil, err
+	}
+	if !ok {
+		return HeaderV2{}, nil, decodeErrf(1, "missing header (empty trace)")
+	}
+	if err := strictUnmarshal(raw, &hdr); err != nil {
+		return HeaderV2{}, nil, decodeErrf(line, "header: %v", err)
+	}
+	if err := hdr.validate(); err != nil {
+		return HeaderV2{}, nil, decodeErrf(line, "header: %v", err)
+	}
+	// Canonicalize: fields and units are pinned by validation, so the
+	// returned header is exactly NewHeaderV2 of the declared roster.
+	hdr = NewHeaderV2(hdr.Clients)
+
+	clients := hdr.clientSet()
+	var recs []RecordV2
+	prev := 0.0
+	for {
+		raw, ok, err := nextLine()
+		if err != nil {
+			return HeaderV2{}, nil, err
+		}
+		if !ok {
+			return hdr, recs, nil
+		}
+		if len(raw) == 0 {
+			return HeaderV2{}, nil, decodeErrf(line, "blank line (records must be contiguous)")
+		}
+		var rec RecordV2
+		if err := strictUnmarshal(raw, &rec); err != nil {
+			return HeaderV2{}, nil, decodeErrf(line, "record: %v", err)
+		}
+		if err := rec.validate(clients, prev); err != nil {
+			return HeaderV2{}, nil, decodeErrf(line, "record: %v", err)
+		}
+		prev = rec.T
+		recs = append(recs, rec)
+	}
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields and
+// trailing garbage on the line.
+func strictUnmarshal(raw []byte, into any) error {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after value")
+	}
+	return nil
+}

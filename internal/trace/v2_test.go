@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var testClients = []ClientV2{
+	{Name: "batch", SLOClass: "batch"},
+	{Name: "interactive", SLOClass: "interactive"},
+}
+
+var testRecords = []RecordV2{
+	{T: 0, Client: "interactive", Size: 0.1},
+	{T: 0.5, Client: "batch", Size: 2.5, Class: 1},
+	{T: 0.5, Client: "interactive", Size: 0.11},
+	{T: 3.25, Client: "batch", Size: 1.75},
+}
+
+func encodeTrace(t testing.TB, clients []ClientV2, recs []RecordV2) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, clients, recs); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	return buf.String()
+}
+
+func TestTraceV2RoundTrip(t *testing.T) {
+	text := encodeTrace(t, testClients, testRecords)
+	hdr, recs, err := DecodeV2(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("DecodeV2: %v", err)
+	}
+	if !reflect.DeepEqual(hdr, NewHeaderV2(testClients)) {
+		t.Errorf("header mismatch: %+v", hdr)
+	}
+	if !reflect.DeepEqual(recs, testRecords) {
+		t.Errorf("records mismatch: %+v", recs)
+	}
+
+	// Re-encoding the decoded trace must reproduce the bytes exactly.
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, hdr.Clients, recs); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if buf.String() != text {
+		t.Errorf("re-encoded trace differs:\n got %q\nwant %q", buf.String(), text)
+	}
+}
+
+func TestTraceV2HeaderOnly(t *testing.T) {
+	text := encodeTrace(t, testClients, nil)
+	hdr, recs, err := DecodeV2(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("DecodeV2: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records, want 0", len(recs))
+	}
+	if len(hdr.Clients) != 2 {
+		t.Errorf("got %d clients, want 2", len(hdr.Clients))
+	}
+}
+
+func TestTraceV2SingleRecord(t *testing.T) {
+	text := encodeTrace(t, nil, []RecordV2{{T: 1.5, Size: 0.2}})
+	hdr, recs, err := DecodeV2(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("DecodeV2: %v", err)
+	}
+	if len(hdr.Clients) != 0 {
+		t.Errorf("got %d clients, want 0", len(hdr.Clients))
+	}
+	if len(recs) != 1 || recs[0] != (RecordV2{T: 1.5, Size: 0.2}) {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+// TestTraceV2DecodeErrors pins the decoder's strictness: every malformed
+// input is rejected with a *DecodeError carrying the offending line.
+func TestTraceV2DecodeErrors(t *testing.T) {
+	header := strings.TrimSuffix(encodeTrace(t, testClients, nil), "\n")
+	untagged := strings.TrimSuffix(encodeTrace(t, nil, nil), "\n")
+	cases := []struct {
+		name string
+		text string
+		line int
+		want string
+	}{
+		{"empty trace", "", 1, "missing header"},
+		{"not json", "hello\n", 1, "header"},
+		{"record before header", `{"t":1,"size":0.5}` + "\n", 1, "header"},
+		{"wrong format tag", `{"format":"other","version":2,"fields":["t","client","size","class"],"units":{"t":"s","size":"s"}}` + "\n", 1, `format "other"`},
+		{"future version", `{"format":"vmprov-trace","version":3,"fields":["t","client","size","class"],"units":{"t":"s","size":"s"}}` + "\n", 1, "unsupported trace version 3"},
+		{"wrong fields", `{"format":"vmprov-trace","version":2,"fields":["t","size"],"units":{"t":"s","size":"s"}}` + "\n", 1, "fields"},
+		{"wrong units", `{"format":"vmprov-trace","version":2,"fields":["t","client","size","class"],"units":{"t":"ms","size":"s"}}` + "\n", 1, `unit for "t"`},
+		{"duplicate header clients", `{"format":"vmprov-trace","version":2,"fields":["t","client","size","class"],"units":{"t":"s","size":"s"},"clients":[{"name":"b"},{"name":"a"},{"name":"b"},{"name":"a"}]}` + "\n", 1, "duplicate trace clients: a, b"},
+		{"unknown header field", `{"format":"vmprov-trace","version":2,"fields":["t","client","size","class"],"units":{"t":"s","size":"s"},"extra":1}` + "\n", 1, "unknown field"},
+		{"blank line", header + "\n\n", 2, "blank line"},
+		{"record not json", header + "\n{oops\n", 2, "record"},
+		{"unknown record field", header + "\n" + `{"t":1,"client":"batch","size":0.5,"latency":1}` + "\n", 2, "unknown field"},
+		{"negative timestamp", header + "\n" + `{"t":-1,"client":"batch","size":0.5}` + "\n", 2, "finite and non-negative"},
+		{"out of order", header + "\n" + `{"t":5,"client":"batch","size":0.5}` + "\n" + `{"t":4,"client":"batch","size":0.5}` + "\n", 3, "out-of-order timestamp 4 after 5"},
+		{"zero size", header + "\n" + `{"t":1,"client":"batch","size":0}` + "\n", 2, "size 0 must be finite and positive"},
+		{"negative class", header + "\n" + `{"t":1,"client":"batch","size":0.5,"class":-1}` + "\n", 2, "class -1"},
+		{"undeclared client", header + "\n" + `{"t":1,"client":"ghost","size":0.5}` + "\n", 2, `client "ghost" is not declared in the header (declared: batch, interactive)`},
+		{"tag without roster", untagged + "\n" + `{"t":1,"client":"batch","size":0.5}` + "\n", 2, "declares no clients"},
+		{"trailing garbage", header + "\n" + `{"t":1,"client":"batch","size":0.5} {}` + "\n", 2, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeV2(strings.NewReader(tc.text))
+			if err == nil {
+				t.Fatalf("DecodeV2 accepted malformed input")
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("error is %T, want *DecodeError: %v", err, err)
+			}
+			if de.Line != tc.line {
+				t.Errorf("error line %d, want %d: %v", de.Line, tc.line, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTraceV2WriterRejects proves the writer enforces the same
+// invariants as the decoder, so a written trace always decodes.
+func TestTraceV2WriterRejects(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterV2(&buf, testClients)
+	if err != nil {
+		t.Fatalf("NewWriterV2: %v", err)
+	}
+	if err := w.Record(RecordV2{T: 2, Client: "batch", Size: 1}); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if err := w.Record(RecordV2{T: 1, Client: "batch", Size: 1}); err == nil {
+		t.Error("writer accepted an out-of-order record")
+	}
+	if err := w.Record(RecordV2{T: 3, Client: "ghost", Size: 1}); err == nil {
+		t.Error("writer accepted an undeclared client")
+	}
+	if err := w.Record(RecordV2{T: 3, Client: "batch", Size: -1}); err == nil {
+		t.Error("writer accepted a negative size")
+	}
+	if w.Count() != 1 {
+		t.Errorf("Count() = %d, want 1", w.Count())
+	}
+	if _, err := NewWriterV2(&buf, []ClientV2{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("NewWriterV2 accepted duplicate clients")
+	}
+}
+
+// FuzzTraceV2Decode drives arbitrary bytes through the decoder: it must
+// never panic, must reject malformed input with a *DecodeError, and any
+// input it accepts must survive an encode/decode round trip.
+func FuzzTraceV2Decode(f *testing.F) {
+	f.Add([]byte(encodeTrace(f, testClients, testRecords)))
+	f.Add([]byte(encodeTrace(f, nil, []RecordV2{{T: 0, Size: 0.1}})))
+	f.Add([]byte(encodeTrace(f, testClients, nil)))
+	f.Add([]byte(""))
+	f.Add([]byte("{}\n"))
+	f.Add([]byte(`{"format":"vmprov-trace","version":2,"fields":["t","client","size","class"],"units":{"t":"s","size":"s"}}` + "\n" + `{"t":1e308,"size":1e308}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, recs, err := DecodeV2(bytes.NewReader(data))
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("error is %T, want *DecodeError: %v", err, err)
+			}
+			if de.Line < 1 {
+				t.Fatalf("non-positive error line %d", de.Line)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeV2(&buf, hdr.Clients, recs); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		hdr2, recs2, err := DecodeV2(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(hdr, hdr2) || !reflect.DeepEqual(recs, recs2) {
+			t.Fatalf("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,325 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+)
+
+// genArrivals compiles a one-client multi source and returns the arrival
+// instants generated up to horizon at the given seed.
+func genArrivals(t *testing.T, cs ClientSpec, aggregate, horizon float64, seed uint64) []float64 {
+	t.Helper()
+	ms, err := NewMultiSource(aggregate, []ClientSpec{cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	var times []float64
+	ms.Start(s, stats.NewRNG(seed), func(q Request) {
+		if q.Client != cs.Name {
+			t.Fatalf("request tagged %q, want %q", q.Client, cs.Name)
+		}
+		times = append(times, q.Arrival)
+	})
+	s.RunUntil(horizon)
+	return times
+}
+
+// gapMoments returns the empirical mean and coefficient of variation of
+// the interarrival gaps.
+func gapMoments(times []float64) (mean, cv float64) {
+	var w stats.Welford
+	prev := 0.0
+	for _, t := range times {
+		w.Add(t - prev)
+		prev = t
+	}
+	return w.Mean(), w.Std() / w.Mean()
+}
+
+// weibullGapCV is the analytic interarrival CV of a Weibull renewal
+// process with the given shape.
+func weibullGapCV(shape float64) float64 {
+	g1 := math.Gamma(1 + 1/shape)
+	g2 := math.Gamma(1 + 2/shape)
+	return math.Sqrt(g2-g1*g1) / g1
+}
+
+// TestArrivalProcessStatistics is the statistical contract of every
+// multi-client arrival process: at a fixed seed, the empirical mean rate
+// and interarrival CV of the generated stream must land within tolerance
+// of the spec parameters. One subtest per process kind.
+func TestArrivalProcessStatistics(t *testing.T) {
+	const (
+		rate    = 50.0
+		horizon = 4000.0
+	)
+	size := SizeSpec{Dist: "deterministic", Mean: 0.01}
+	cases := []struct {
+		name    string
+		arrival ArrivalSpec
+		wantCV  float64 // <0: only require CV strictly above 1 (burstier than Poisson)
+		cvTol   float64
+	}{
+		{"poisson", ArrivalSpec{Process: ArrivalPoisson}, 1, 0.03},
+		{"gamma-cv-bursty", ArrivalSpec{Process: ArrivalGammaCV, CV: 2.0}, 2.0, 0.06},
+		{"gamma-cv-regular", ArrivalSpec{Process: ArrivalGammaCV, CV: 0.5}, 0.5, 0.03},
+		{"weibull", ArrivalSpec{Process: ArrivalWeibull, Shape: 0.7}, weibullGapCV(0.7), 0.06},
+		// Short sojourns give the modulating chain ~100 cycles over the
+		// horizon, so the empirical rate mixes to the stationary mean.
+		{"mmpp", ArrivalSpec{Process: ArrivalMMPP, Peak: 4, Sojourns: [2]float64{30, 6}}, -1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cs := ClientSpec{Name: "c", RateFraction: 1, Arrival: c.arrival, Size: size}
+			times := genArrivals(t, cs, rate, horizon, 7)
+			if len(times) < 1000 {
+				t.Fatalf("only %d arrivals generated", len(times))
+			}
+			gotRate := float64(len(times)) / horizon
+			if math.Abs(gotRate-rate)/rate > 0.05 {
+				t.Errorf("empirical rate %.2f/s, spec %v/s", gotRate, rate)
+			}
+			_, gotCV := gapMoments(times)
+			if c.wantCV < 0 {
+				if gotCV < 1.1 {
+					t.Errorf("mmpp interarrival CV %.3f, want > 1.1 (burstier than Poisson)", gotCV)
+				}
+				return
+			}
+			if math.Abs(gotCV-c.wantCV)/c.wantCV > c.cvTol {
+				t.Errorf("interarrival CV %.3f, spec %.3f (tol %v)", gotCV, c.wantCV, c.cvTol)
+			}
+		})
+	}
+}
+
+// TestPatternMultipliers pins the pattern math at known instants.
+func TestPatternMultipliers(t *testing.T) {
+	ramp := PatternSpec{Kind: PatternRamp, From: 0.5, To: 1.5, Start: 100, End: 300}
+	for _, c := range []struct{ t, want float64 }{
+		{0, 0.5}, {100, 0.5}, {200, 1.0}, {300, 1.5}, {1e6, 1.5},
+	} {
+		if got := ramp.Multiplier(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ramp(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	burst := PatternSpec{Kind: PatternBurst, Factor: 3, Period: 600, Duration: 60}
+	for _, c := range []struct{ t, want float64 }{
+		{0, 3}, {59.9, 3}, {60, 1}, {599, 1}, {600, 3}, {661, 1},
+	} {
+		if got := burst.Multiplier(c.t); got != c.want {
+			t.Errorf("burst(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	mp := PatternSpec{Kind: PatternMultiPeriod, Periods: []float64{100, 50}, Amps: []float64{0.3, 0.2}}
+	if got := mp.Multiplier(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("multi-period(0) = %v, want 1", got)
+	}
+	if got := mp.Multiplier(25); math.Abs(got-(1+0.3*math.Sin(math.Pi/2))) > 1e-12 {
+		t.Errorf("multi-period(25) = %v", got)
+	}
+	// A validated pattern stays strictly positive everywhere.
+	for ti := 0; ti < 10000; ti++ {
+		if m := mp.Multiplier(float64(ti)); m <= 0 {
+			t.Fatalf("multi-period multiplier %v at t=%d", m, ti)
+		}
+	}
+}
+
+// TestMeanRateFollowsPattern checks the modulated renewal source
+// actually tracks its pattern: arrivals in the ramped-up window outnumber
+// the ramped-down window by about the factor ratio.
+func TestMeanRateFollowsPattern(t *testing.T) {
+	cs := ClientSpec{
+		Name: "ramped", RateFraction: 1,
+		Arrival: ArrivalSpec{Process: ArrivalPoisson},
+		Size:    SizeSpec{Dist: "deterministic", Mean: 0.01},
+		Pattern: PatternSpec{Kind: PatternRamp, From: 0.5, To: 2.0, Start: 1000, End: 1200},
+	}
+	times := genArrivals(t, cs, 40, 2200, 3)
+	var lo, hi int
+	for _, at := range times {
+		if at < 1000 {
+			lo++
+		} else if at >= 1200 {
+			hi++
+		}
+	}
+	loRate := float64(lo) / 1000
+	hiRate := float64(hi) / 1000
+	if math.Abs(loRate-20)/20 > 0.08 {
+		t.Errorf("pre-ramp rate %.2f, want ≈20", loRate)
+	}
+	if math.Abs(hiRate-80)/80 > 0.08 {
+		t.Errorf("post-ramp rate %.2f, want ≈80", hiRate)
+	}
+}
+
+// TestClientSubstreamIndependence: each client draws from its own
+// seeded substream, so adding a third client must not perturb the
+// arrival instants of the existing two.
+func TestClientSubstreamIndependence(t *testing.T) {
+	size := SizeSpec{Dist: "jitter", Mean: 0.1, Jitter: 0.1}
+	a := ClientSpec{Name: "a", RateFraction: 0.5, Arrival: ArrivalSpec{Process: ArrivalPoisson}, Size: size}
+	b := ClientSpec{Name: "b", RateFraction: 0.5, Arrival: ArrivalSpec{Process: ArrivalGammaCV, CV: 2}, Size: size}
+	collect := func(clients []ClientSpec, who string) []float64 {
+		ms, err := NewMultiSource(100, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.New()
+		var times []float64
+		ms.Start(s, stats.NewRNG(42), func(q Request) {
+			if q.Client == who {
+				times = append(times, q.Arrival)
+			}
+		})
+		s.RunUntil(600)
+		return times
+	}
+	two := collect([]ClientSpec{a, b}, "a")
+	// Same fractions for a and b; the newcomer takes over part of b's
+	// share — a's absolute rate (0.5·100) is unchanged.
+	b3 := b
+	b3.RateFraction = 0.25
+	c3 := ClientSpec{Name: "c", RateFraction: 0.25, Arrival: ArrivalSpec{Process: ArrivalWeibull, Shape: 0.8}, Size: size}
+	three := collect([]ClientSpec{a, b3, c3}, "a")
+	if len(two) != len(three) {
+		t.Fatalf("client a generated %d vs %d arrivals after adding client c", len(two), len(three))
+	}
+	for i := range two {
+		if two[i] != three[i] {
+			t.Fatalf("client a arrival %d moved: %v vs %v", i, two[i], three[i])
+		}
+	}
+}
+
+// TestValidateClientsErrors pins the client-set validation contract,
+// including the sorted duplicate-name list.
+func TestValidateClientsErrors(t *testing.T) {
+	size := SizeSpec{Dist: "deterministic", Mean: 0.1}
+	pois := ArrivalSpec{Process: ArrivalPoisson}
+	mk := func(name string, frac float64) ClientSpec {
+		return ClientSpec{Name: name, RateFraction: frac, Arrival: pois, Size: size}
+	}
+	cases := []struct {
+		name    string
+		clients []ClientSpec
+		want    string
+	}{
+		{"empty", nil, "at least one client"},
+		{"dup-sorted", []ClientSpec{mk("zeta", 0.25), mk("alpha", 0.25), mk("zeta", 0.25), mk("alpha", 0.25)},
+			"duplicate client names: alpha, zeta"},
+		{"fraction-sum", []ClientSpec{mk("a", 0.5), mk("b", 0.2)}, "sum to 0.7, want 1"},
+		{"no-name", []ClientSpec{mk("", 1)}, "client missing name"},
+		{"bad-process", []ClientSpec{{Name: "a", RateFraction: 1, Arrival: ArrivalSpec{Process: "nope"}, Size: size}},
+			"unknown arrival process \"nope\" (want one of gamma-cv, mmpp, poisson, weibull)"},
+		{"extra-param", []ClientSpec{{Name: "a", RateFraction: 1, Arrival: ArrivalSpec{Process: ArrivalPoisson, CV: 2}, Size: size}},
+			"does not take the supplied parameter"},
+		{"mmpp-pattern", []ClientSpec{{
+			Name: "a", RateFraction: 1,
+			Arrival: ArrivalSpec{Process: ArrivalMMPP, Peak: 2, Sojourns: [2]float64{60, 30}},
+			Size:    size,
+			Pattern: PatternSpec{Kind: PatternBurst, Factor: 2, Period: 60, Duration: 10},
+		}}, "take no temporal pattern"},
+		{"bad-size", []ClientSpec{{Name: "a", RateFraction: 1, Arrival: pois, Size: SizeSpec{Dist: "pareto", Mean: 0.1, Alpha: 0.9}}},
+			"alpha > 1"},
+		{"bad-pattern", []ClientSpec{{Name: "a", RateFraction: 1, Arrival: pois, Size: size,
+			Pattern: PatternSpec{Kind: PatternMultiPeriod, Periods: []float64{60}, Amps: []float64{1.2}}}},
+			"must stay below 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateClients(c.clients)
+			if err == nil {
+				t.Fatal("invalid client set accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestMultiKindRegistry: the "multi" workload kind compiles through the
+// registry, exposes its client table, and rejects bad params with the
+// kind-prefixed error.
+func TestMultiKindRegistry(t *testing.T) {
+	params := []byte(`{
+		"aggregate_rate": 60,
+		"clients": [
+			{"name": "fg", "rate_fraction": 0.7, "slo_class": "interactive",
+			 "arrival": {"process": "poisson"}, "size": {"dist": "jitter", "mean": 0.1, "jitter": 0.1}},
+			{"name": "bg", "rate_fraction": 0.3, "slo_class": "batch",
+			 "arrival": {"process": "gamma-cv", "cv": 2.5}, "size": {"dist": "weibull", "mean": 0.2, "shape": 1.5}}
+		]
+	}`)
+	b, err := Build("multi", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Clients) != 2 || b.Clients[0] != (ClientInfo{Name: "fg", SLOClass: "interactive"}) ||
+		b.Clients[1] != (ClientInfo{Name: "bg", SLOClass: "batch"}) {
+		t.Fatalf("client table %+v", b.Clients)
+	}
+	src := b.NewSource()
+	if src.MeanRate(0) != 60 {
+		t.Errorf("aggregate MeanRate %v, want 60", src.MeanRate(0))
+	}
+	// Fresh sources per replication: two sources at the same seed
+	// generate identical streams (no shared mutable state).
+	count := func(src Source) int {
+		s := sim.New()
+		n := 0
+		src.Start(s, stats.NewRNG(5), func(Request) { n++ })
+		s.RunUntil(300)
+		return n
+	}
+	if n1, n2 := count(b.NewSource()), count(b.NewSource()); n1 != n2 || n1 == 0 {
+		t.Fatalf("fresh sources diverge: %d vs %d", n1, n2)
+	}
+
+	if _, err := Build("multi", []byte(`{"aggregate_rate": 0, "clients": []}`)); err == nil ||
+		!strings.Contains(err.Error(), `kind "multi"`) {
+		t.Errorf("bad multi params error %v lacks kind prefix", err)
+	}
+}
+
+// TestSizeSpecMeans: every size distribution's empirical mean tracks the
+// spec mean.
+func TestSizeSpecMeans(t *testing.T) {
+	cases := []SizeSpec{
+		{Dist: "jitter", Mean: 0.1, Jitter: 0.1},
+		{Dist: "deterministic", Mean: 0.25},
+		{Dist: "exponential", Mean: 0.5},
+		{Dist: "uniform", Mean: 0.3, CV: 0.4},
+		{Dist: "lognormal", Mean: 0.12, CV: 0.8},
+		{Dist: "weibull", Mean: 0.18, Shape: 1.5},
+		{Dist: "pareto", Mean: 0.15, Alpha: 2.5},
+	}
+	for _, z := range cases {
+		t.Run(z.Dist, func(t *testing.T) {
+			if err := z.validate(); err != nil {
+				t.Fatal(err)
+			}
+			sm := z.sampler()
+			r := stats.NewRNG(9)
+			var w stats.Welford
+			for i := 0; i < 200000; i++ {
+				w.Add(sm.Sample(r))
+			}
+			want := z.Mean
+			if z.Dist == "jitter" {
+				want = z.Mean * (1 + z.Jitter/2)
+			}
+			if math.Abs(w.Mean()-want)/want > 0.03 {
+				t.Errorf("empirical mean %v, want %v", w.Mean(), want)
+			}
+		})
+	}
+}

@@ -18,6 +18,13 @@ import (
 type Builder struct {
 	NewSource   func() Source
 	NewAnalyzer func(src Source, horizon float64) Analyzer
+
+	// Clients lists the workload's client cohorts in spec order, for
+	// kinds that generate tagged multi-client traffic ("multi",
+	// "tracev2"); nil for single-source kinds. Scenario compilation
+	// forwards it so reports can render per-client and per-SLO-class
+	// rows.
+	Clients []ClientInfo
 }
 
 // Constructor builds a Builder from raw JSON parameters. A nil/empty

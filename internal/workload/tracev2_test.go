@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmprov/internal/sim"
+	"vmprov/internal/stats"
+	"vmprov/internal/trace"
+)
+
+// writeTrace encodes a v2 trace to a temp file and returns its path.
+func writeTrace(t *testing.T, clients []trace.ClientV2, recs []trace.RecordV2) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "arrivals.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeV2(f, clients, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func tracev2Params(t *testing.T, path string) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(TraceV2Params{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestRequestsFromV2(t *testing.T) {
+	recs := []trace.RecordV2{
+		{T: 0.5, Client: "a", Size: 0.1, Class: 2},
+		{T: 1.5, Client: "b", Size: 0.2},
+		{T: 1.5, Client: "a", Size: 0.3},
+	}
+	reqs := RequestsFromV2(recs)
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests, want 3", len(reqs))
+	}
+	for i, rec := range recs {
+		want := Request{ID: uint64(i + 1), Arrival: rec.T, Service: rec.Size, Class: rec.Class, Client: rec.Client}
+		if reqs[i] != want {
+			t.Errorf("request %d = %+v, want %+v", i, reqs[i], want)
+		}
+	}
+}
+
+// TestBuildTraceV2 builds the "tracev2" kind from a recorded file and
+// replays it: requests must come back in record order with their client
+// tags, sizes, and classes intact, and the header roster must surface as
+// the builder's client table.
+func TestBuildTraceV2(t *testing.T) {
+	clients := []trace.ClientV2{
+		{Name: "a", SLOClass: "interactive"},
+		{Name: "b", SLOClass: "batch"},
+	}
+	recs := []trace.RecordV2{
+		{T: 1, Client: "a", Size: 0.1, Class: 1},
+		{T: 2, Client: "b", Size: 0.2},
+		{T: 2, Client: "a", Size: 0.3},
+		{T: 5, Client: "b", Size: 0.4},
+	}
+	path := writeTrace(t, clients, recs)
+
+	b, err := Build("tracev2", tracev2Params(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClients := []ClientInfo{{Name: "a", SLOClass: "interactive"}, {Name: "b", SLOClass: "batch"}}
+	if len(b.Clients) != len(wantClients) {
+		t.Fatalf("builder clients %+v, want %+v", b.Clients, wantClients)
+	}
+	for i := range wantClients {
+		if b.Clients[i] != wantClients[i] {
+			t.Fatalf("builder clients %+v, want %+v", b.Clients, wantClients)
+		}
+	}
+
+	// Two independent replays must yield the identical stream (the trace
+	// source has no randomness; the RNG seed is irrelevant).
+	replay := func(seed uint64) []Request {
+		var got []Request
+		s := sim.New()
+		b.NewSource().Start(s, stats.NewRNG(seed), func(q Request) { got = append(got, q) })
+		s.RunUntil(10)
+		return got
+	}
+	got := replay(1)
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d requests, want %d", len(got), len(recs))
+	}
+	for i, rec := range recs {
+		if got[i].Arrival != rec.T || got[i].Service != rec.Size ||
+			got[i].Client != rec.Client || got[i].Class != rec.Class {
+			t.Errorf("replayed request %d = %+v, want record %+v", i, got[i], rec)
+		}
+	}
+	other := replay(2)
+	for i := range got {
+		if got[i] != other[i] {
+			t.Fatalf("replay depends on the seed at request %d: %+v vs %+v", i, got[i], other[i])
+		}
+	}
+}
+
+// TestBuildTraceV2Errors pins the constructor's parse-time failures: a
+// missing path, an unreadable file, a zero-record trace, and a malformed
+// trace (which must surface the decoder's line-numbered error).
+func TestBuildTraceV2Errors(t *testing.T) {
+	if _, err := Build("tracev2", []byte(`{}`)); err == nil || !strings.Contains(err.Error(), "needs a path") {
+		t.Errorf("missing path error = %v", err)
+	}
+	if _, err := Build("tracev2", tracev2Params(t, filepath.Join(t.TempDir(), "absent.trace"))); err == nil {
+		t.Error("unreadable file did not error")
+	}
+
+	empty := writeTrace(t, []trace.ClientV2{{Name: "a"}}, nil)
+	if _, err := Build("tracev2", tracev2Params(t, empty)); err == nil ||
+		!strings.Contains(err.Error(), "trace has no records") {
+		t.Errorf("zero-record trace error = %v", err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	good := writeTrace(t, nil, []trace.RecordV2{{T: 1, Size: 0.1}})
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, append(data, []byte("{\"t\":0.5,\"size\":0.1}\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build("tracev2", tracev2Params(t, bad))
+	if err == nil || !strings.Contains(err.Error(), "line 3") ||
+		!strings.Contains(err.Error(), "out-of-order") {
+		t.Errorf("malformed trace error = %v, want a line-3 out-of-order error", err)
+	}
+}

@@ -39,6 +39,19 @@ type Request struct {
 	Service  float64 // seconds of execution on an unloaded instance
 	Class    int     // priority class; higher is more important
 	Deadline float64 // absolute completion deadline; 0 = none
+
+	// Client names the workload cohort that generated the request
+	// (multi-client specs); empty for single-source workloads. Metrics
+	// break down per-client rows by this tag.
+	Client string
+}
+
+// ClientInfo identifies one client cohort of a multi-client workload:
+// its name (the Request.Client tag) and the SLO class its results are
+// grouped under in per-class report rows.
+type ClientInfo struct {
+	Name     string `json:"name"`
+	SLOClass string `json:"slo_class,omitempty"`
 }
 
 // Source is an arrival process that can drive a simulation. Start

@@ -37,6 +37,24 @@ type (
 	ModulatedWorkloadParams = workload.ModulatedParams
 	// TraceWorkloadParams parameterize the "trace" (rate-replay) kind.
 	TraceWorkloadParams = workload.TraceParams
+	// MultiWorkloadParams parameterize the "multi" kind: an aggregate
+	// arrival rate fanned out over client cohorts.
+	MultiWorkloadParams = workload.MultiParams
+	// TraceV2WorkloadParams parameterize the "tracev2" kind: bit-exact
+	// replay of a recorded v2 arrival trace.
+	TraceV2WorkloadParams = workload.TraceV2Params
+	// ClientSpec declares one client cohort of a multi-client workload.
+	ClientSpec = workload.ClientSpec
+	// ArrivalSpec declares a client's arrival process (poisson,
+	// gamma-cv, weibull, mmpp).
+	ArrivalSpec = workload.ArrivalSpec
+	// SizeSpec declares a client's service-size distribution.
+	SizeSpec = workload.SizeSpec
+	// PatternSpec shapes a client's rate over time (ramp, burst,
+	// multi-period); the zero value is constant.
+	PatternSpec = workload.PatternSpec
+	// ClientInfo identifies one client cohort (name + SLO class).
+	ClientInfo = workload.ClientInfo
 	// FaultSpec declares injected IaaS faults (crashes, boot failures,
 	// transient API errors) for a scenario; the zero value is the
 	// paper's perfectly reliable cloud.
@@ -69,6 +87,17 @@ func PaperPanel(scenario string, scale float64, reps int, seed uint64) (PanelSpe
 // errors, for the adaptive policy against the static ladder.
 func FaultPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
 	return experiment.FaultPanel(scale, reps, seed)
+}
+
+// MultiSpec returns the declarative form of the built-in multi-client
+// web scenario: four client cohorts with distinct arrival processes,
+// service-size distributions, SLO classes, and temporal patterns.
+func MultiSpec(scale float64) ScenarioSpec { return experiment.MultiSpec(scale) }
+
+// MultiClientPanel returns the built-in multi-client panel: the
+// web-multi scenario, adaptive against the full static ladder.
+func MultiClientPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
+	return experiment.MultiClientPanel(scale, reps, seed)
 }
 
 // ParsePanelSpec strictly decodes a JSON panel spec (unknown fields are

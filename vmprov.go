@@ -36,6 +36,9 @@ type (
 	Result = metrics.Result
 	// SeriesPoint is one step of an instance-count or rate time series.
 	SeriesPoint = metrics.SeriesPoint
+	// ClientResult is one client cohort's slice of a run (multi-client
+	// workloads).
+	ClientResult = metrics.ClientResult
 	// Scenario is an evaluation setup: workload, analyzer, QoS, baselines.
 	Scenario = experiment.Scenario
 	// Policy is a named provisioning policy runnable over a Scenario.
@@ -150,6 +153,27 @@ func FigureTable(caption string, results []Result) string {
 
 // ResultsCSV renders results as CSV.
 func ResultsCSV(results []Result) string { return experiment.ResultsCSV(results) }
+
+// ResultsEqual reports whether two results are identical, per-client
+// rows included (Result is not ==-comparable).
+func ResultsEqual(a, b Result) bool { return metrics.Equal(a, b) }
+
+// SLOClassResults folds per-client rows into one row per SLO class.
+func SLOClassResults(clients []ClientResult) []ClientResult {
+	return metrics.SLOClassResults(clients)
+}
+
+// ClientBreakdownTable renders the per-client and per-SLO-class rows of
+// multi-client results; "" when no result carries client rows.
+func ClientBreakdownTable(caption string, results []Result) string {
+	return experiment.ClientBreakdownTable(caption, results)
+}
+
+// ClientBreakdownCSV renders per-client and per-SLO-class rows as CSV;
+// "" when no result carries client rows.
+func ClientBreakdownCSV(results []Result) string {
+	return experiment.ClientBreakdownCSV(results)
+}
 
 // Algorithm1 runs the paper's adaptive sizing search standalone: given an
 // expected arrival rate, monitored execution time, queue size, QoS, and
