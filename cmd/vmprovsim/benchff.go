@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vmprov"
+)
+
+// Fast-forward benchmark mode: -benchff FILE runs the built-in hybrid
+// web panel twice — once in exact mode, once in hybrid — over the sweep
+// engine, and writes a JSON record of the wall-time speedup, the kernel
+// event reduction, and the per-policy accuracy check against
+// vmprov.HybridTolerance. The committed BENCH_ff.json is this report on
+// the 6-hour web panel; the ff-smoke CI target re-runs a reduced
+// configuration and fails if any policy leaves tolerance.
+
+type ffPolicyRow struct {
+	Policy        string   `json:"policy"`
+	ExactRejRate  float64  `json:"exact_rejection_rate"`
+	HybridRejRate float64  `json:"hybrid_rejection_rate"`
+	ExactResp     float64  `json:"exact_mean_response_s"`
+	HybridResp    float64  `json:"hybrid_mean_response_s"`
+	Diffs         []string `json:"diffs,omitempty"`
+	WithinTol     bool     `json:"within_tolerance"`
+}
+
+type ffBenchReport struct {
+	GeneratedAt    string         `json:"generated_at"`
+	GoVersion      string         `json:"go_version"`
+	GOOS           string         `json:"goos"`
+	GOARCH         string         `json:"goarch"`
+	Scenario       string         `json:"scenario"`
+	Scale          float64        `json:"scale"`
+	HorizonS       float64        `json:"horizon_s"`
+	Reps           int            `json:"reps"`
+	Seed           uint64         `json:"seed"`
+	ExactWallSecs  float64        `json:"exact_wall_seconds"`
+	HybridWallSecs float64        `json:"hybrid_wall_seconds"`
+	Speedup        float64        `json:"speedup"`
+	ExactEvents    uint64         `json:"exact_events"`
+	HybridEvents   uint64         `json:"hybrid_events"`
+	EventReduction float64        `json:"event_reduction"`
+	Tolerance      ffToleranceDoc `json:"tolerance"`
+	Policies       []ffPolicyRow  `json:"policies"`
+	AllWithinTol   bool           `json:"all_within_tolerance"`
+}
+
+// ffToleranceDoc records the declared accuracy contract alongside the
+// measurements so the report is self-describing.
+type ffToleranceDoc struct {
+	RespRel float64 `json:"resp_rel"`
+	RejRel  float64 `json:"rej_rel"`
+	RejAbs  float64 `json:"rej_abs"`
+}
+
+// ffRunPanel runs the hybrid web panel spec in the given mode and
+// returns the aggregated per-policy rows, the summed kernel event count,
+// and the wall time of the sweep.
+func ffRunPanel(scale float64, reps int, seed uint64, workers int, mode vmprov.Mode) ([]vmprov.Result, uint64, float64, error) {
+	spec, err := vmprov.HybridPanel(scale, reps, seed)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	spec.Mode = mode
+	panel, err := spec.Compile()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	start := time.Now()
+	prs := panel.Run(vmprov.SweepOptions{Workers: workers})
+	wall := time.Since(start).Seconds()
+	rows := prs[0].Results
+	var events uint64
+	for _, r := range rows {
+		events += r.Events
+	}
+	return rows, events, wall, nil
+}
+
+// runFFBench executes the exact-vs-hybrid comparison and writes the
+// JSON report. It returns an error (failing the process) when any
+// policy's hybrid aggregate leaves the declared tolerance, so CI can
+// gate on it directly.
+func runFFBench(outPath string, scale float64, reps int, seed uint64, workers int) error {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	tol := vmprov.HybridTolerance()
+	exact, exEvents, exWall, err := ffRunPanel(scale, reps, seed, workers, vmprov.ModeExact)
+	if err != nil {
+		return err
+	}
+	hybrid, hyEvents, hyWall, err := ffRunPanel(scale, reps, seed, workers, vmprov.ModeHybrid)
+	if err != nil {
+		return err
+	}
+	rep := ffBenchReport{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Scenario:       "web-hybrid",
+		Scale:          scale,
+		HorizonS:       6 * 3600,
+		Reps:           reps,
+		Seed:           seed,
+		ExactWallSecs:  exWall,
+		HybridWallSecs: hyWall,
+		ExactEvents:    exEvents,
+		HybridEvents:   hyEvents,
+		Tolerance:      ffToleranceDoc{RespRel: tol.RespRel, RejRel: tol.RejRel, RejAbs: tol.RejAbs},
+		AllWithinTol:   true,
+	}
+	if hyWall > 0 {
+		rep.Speedup = exWall / hyWall
+	}
+	if hyEvents > 0 {
+		rep.EventReduction = float64(exEvents) / float64(hyEvents)
+	}
+	for i := range exact {
+		diffs := vmprov.ResultsCloseToDiff(exact[i], hybrid[i], tol)
+		row := ffPolicyRow{
+			Policy:        exact[i].Policy,
+			ExactRejRate:  exact[i].RejectionRate,
+			HybridRejRate: hybrid[i].RejectionRate,
+			ExactResp:     exact[i].MeanResponse,
+			HybridResp:    hybrid[i].MeanResponse,
+			Diffs:         diffs,
+			WithinTol:     len(diffs) == 0,
+		}
+		if !row.WithinTol {
+			rep.AllWithinTol = false
+		}
+		rep.Policies = append(rep.Policies, row)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"ff bench web scale %g reps %d: exact %.2fs / hybrid %.2fs — %.1f× speedup, %.1f× fewer events\n",
+		scale, reps, exWall, hyWall, rep.Speedup, rep.EventReduction)
+	if !rep.AllWithinTol {
+		for _, row := range rep.Policies {
+			for _, d := range row.Diffs {
+				fmt.Fprintf(os.Stderr, "  %s: %s\n", row.Policy, d)
+			}
+		}
+		return fmt.Errorf("hybrid mode outside tolerance (see %s)", outPath)
+	}
+	return nil
+}

@@ -7,9 +7,12 @@
 //	vmprovsim -scenario scientific -reps 10 -all -csv
 //	vmprovsim -scenario scientific -policy adaptive -series
 //	vmprovsim -scenario web -scale 0.1 -policy static:10
+//	vmprovsim -scenario web -scale 0.05 -mode hybrid -all
 //	vmprovsim -dumpspec scientific -reps 3 > panel.json
 //	vmprovsim -dumpspec web-multi -reps 3 > multi.json
+//	vmprovsim -dumpspec web-hybrid -reps 3 > hybrid.json
 //	vmprovsim -spec multi.json
+//	vmprovsim -benchff BENCH_ff.json
 //	vmprovsim -scenario web-multi -record arrivals.trace
 //	vmprovsim -benchkernel BENCH_kernel.json -benchscales 0.1,1
 //	vmprovsim -scenario web -scale 1 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -46,7 +49,8 @@ func main() {
 		policy   = flag.String("policy", "adaptive", "registered policy name (adaptive, static:<m>, ...; single-policy mode)")
 		vms      = flag.Int("vms", 0, "fleet size for -policy static")
 		specFile = flag.String("spec", "", "run a declarative JSON panel spec file (\"-\" = stdin)")
-		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, all, web-fault, or web-multi")
+		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, all, web-fault, web-multi, or web-hybrid")
+		mode     = flag.String("mode", "", "simulation mode: exact (default) or hybrid analytical fast-forward")
 		record   = flag.String("record", "", "record the scenario's arrival stream as a v2 trace to this file (uses -scenario/-scale/-seed/-horizon)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
 		series   = flag.Bool("series", false, "emit the instance-count time series (single-policy mode)")
@@ -58,6 +62,10 @@ func main() {
 		benchKernel = flag.String("benchkernel", "", "run the kernel throughput benchmark and write its JSON report to this file")
 		benchScales = flag.String("benchscales", "0.1,1", "comma-separated web load scales for -benchkernel")
 		benchHoriz  = flag.Float64("benchhorizon", 3600, "simulated seconds per -benchkernel run")
+
+		benchFF = flag.String("benchff", "", "run the hybrid fast-forward benchmark (exact vs hybrid web panel) and write its JSON report to this file")
+		ffScale = flag.Float64("ffscale", 0.05, "web load scale for -benchff")
+		ffReps  = flag.Int("ffreps", 3, "replications per policy for -benchff")
 
 		benchSweep = flag.String("benchsweep", "", "run the sweep-engine panel benchmark and write its JSON report to this file")
 		sweepBase  = flag.String("sweepbaseline", "", "prior -benchsweep report to embed as the speedup baseline (default: in-process legacy run)")
@@ -111,6 +119,15 @@ func main() {
 		return
 	}
 
+	if *benchFF != "" {
+		if err := runFFBench(*benchFF, *ffScale, *ffReps, *seed, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ff bench → %s\n", *benchFF)
+		return
+	}
+
 	if *benchSweep != "" {
 		if err := runSweepBench(*benchSweep, *sweepBase, *sweepScale, *sweepHoriz, *sweepReps, *sweepTries); err != nil {
 			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
@@ -148,6 +165,11 @@ func main() {
 	}
 	if *horizon > 0 {
 		sc.Horizon = *horizon
+	}
+	sc.Mode = vmprov.Mode(*mode)
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+		os.Exit(2)
 	}
 
 	if *record != "" {

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"vmprov/internal/metrics"
+)
+
+// hybridWeb returns a reduced web scenario in both modes: six hours at
+// 5% scale, the shape of the committed hybrid panel but cheap enough for
+// exact reference runs in tests.
+func hybridWeb(t *testing.T) (exact, hybrid Scenario) {
+	t.Helper()
+	sc := Web(0.05)
+	sc.Horizon = 6 * 3600
+	hy := sc
+	hy.Mode = ModeHybrid
+	return sc, hy
+}
+
+// Hybrid mode must reproduce every figure-table metric of the exact run
+// within the declared tolerance, while executing meaningfully fewer
+// kernel events — the whole point of fast-forwarding.
+func TestHybridMatchesExactWithinTolerance(t *testing.T) {
+	sc, hy := hybridWeb(t)
+	tol := metrics.HybridTolerance()
+	for _, pol := range []Policy{AdaptivePolicy(), StaticPolicy(sc.StaticFleets[2])} {
+		exact, _ := RunOnce(sc, pol, 1, RunOptions{})
+		hybrid, _ := RunOnce(hy, pol, 1, RunOptions{})
+		if diffs := metrics.CloseToDiff(exact, hybrid, tol); len(diffs) > 0 {
+			t.Errorf("%s: hybrid outside tolerance:\n  %s", pol.Name, strings.Join(diffs, "\n  "))
+		}
+		if hybrid.Events*2 >= exact.Events {
+			t.Errorf("%s: hybrid processed %d events vs exact %d — expected at least 2× reduction",
+				pol.Name, hybrid.Events, exact.Events)
+		}
+	}
+}
+
+// Mode exact (and the empty default) must stay bit-identical to a run
+// that never heard of modes.
+func TestModeExactIsDefault(t *testing.T) {
+	sc, _ := hybridWeb(t)
+	base, _ := RunOnce(sc, AdaptivePolicy(), 3, RunOptions{})
+	sc.Mode = ModeExact
+	tagged, _ := RunOnce(sc, AdaptivePolicy(), 3, RunOptions{})
+	if !metrics.Equal(base, tagged) {
+		t.Fatal("Mode=exact changed results relative to the empty default")
+	}
+}
+
+// Hybrid replications are pure functions of (scenario, policy, seed):
+// the sweep worker count must not leak into results.
+func TestHybridDeterministicAcrossWorkers(t *testing.T) {
+	ps, err := HybridPanel(0.05, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel, err := ps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := panel.Jobs()
+	var base []metrics.Result
+	for _, w := range []int{1, 4, 8} {
+		res := Sweep(jobs, SweepOptions{Workers: w})
+		if base == nil {
+			base = res
+			continue
+		}
+		for i := range res {
+			if !metrics.Equal(res[i], base[i]) {
+				t.Fatalf("workers=%d: job %d (%s seed %d) differs from workers=1",
+					w, i, jobs[i].Policy.Name, jobs[i].Seed)
+			}
+		}
+	}
+}
+
+// A pooled context rewound between hybrid runs must reproduce the
+// fresh-context result bit for bit — the engine keeps no state a Reset
+// misses.
+func TestHybridPooledContextReuse(t *testing.T) {
+	_, hy := hybridWeb(t)
+	fresh, _ := RunOnce(hy, AdaptivePolicy(), 5, RunOptions{})
+	rc := NewRunContext()
+	rc.Run(hy, StaticPolicy(hy.StaticFleets[0]), 9, RunOptions{}) // dirty the context
+	pooled, _ := rc.Run(hy, AdaptivePolicy(), 5, RunOptions{})
+	if !metrics.Equal(fresh, pooled) {
+		t.Fatalf("pooled hybrid run differs from fresh context:\nfresh  %+v\npooled %+v", fresh, pooled)
+	}
+}
+
+// An unknown mode is a compile/validation error, not a silent exact run.
+func TestModeValidation(t *testing.T) {
+	sc, _ := hybridWeb(t)
+	sc.Mode = "fluidish"
+	if err := sc.Validate(); err == nil {
+		t.Fatal("unknown mode validated")
+	}
+	sp := WebSpec(0.05)
+	sp.Mode = "fluidish"
+	if err := sp.Validate(); err == nil {
+		t.Fatal("unknown spec mode validated")
+	}
+}

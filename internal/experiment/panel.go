@@ -35,6 +35,9 @@ type PanelSpec struct {
 	Seed uint64 `json:"seed"`
 	// Workers sizes the sweep worker pool (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// Mode is the panel-wide default simulation mode, applied to every
+	// scenario that does not set its own; omitted means exact.
+	Mode Mode `json:"mode,omitempty"`
 }
 
 // Panel is a compiled PanelSpec: every scenario compiled, every policy
@@ -74,9 +77,15 @@ func (ps PanelSpec) Compile() (*Panel, error) {
 	if len(ps.Policies) == 0 {
 		return nil, fmt.Errorf("experiment: panel %q has no policies", ps.Name)
 	}
+	if err := ps.Mode.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: panel %q: %w", ps.Name, err)
+	}
 	p := &Panel{Spec: ps}
 	reps := ps.reps()
 	for _, sp := range ps.Scenarios {
+		if sp.Mode == "" {
+			sp.Mode = ps.Mode
+		}
 		sc, err := sp.Compile()
 		if err != nil {
 			return nil, err
@@ -201,6 +210,28 @@ func FaultPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
 		ps.Scenarios = append(ps.Scenarios, sp)
 	}
 	return ps, nil
+}
+
+// HybridPanel returns the built-in hybrid fast-forward panel: six hours
+// of the web scenario in hybrid mode, adaptive against the full static
+// ladder — the validation target the hybrid engine's accuracy contract
+// (metrics.HybridTolerance against the same panel in exact mode) is
+// checked on, and the workload -benchff times.
+func HybridPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
+	sp, err := BuildScenarioSpec("web", scale)
+	if err != nil {
+		return PanelSpec{}, err
+	}
+	sp.Name = "web-hybrid"
+	sp.Horizon = 6 * 3600
+	return PanelSpec{
+		Name:      "web-hybrid-panel",
+		Scenarios: []ScenarioSpec{sp},
+		Policies:  []string{"adaptive", staticWildcardName},
+		Reps:      reps,
+		Seed:      seed,
+		Mode:      ModeHybrid,
+	}, nil
 }
 
 // ParsePanelSpec strictly decodes a JSON panel spec: unknown fields are

@@ -16,6 +16,35 @@ import (
 	"vmprov/internal/workload"
 )
 
+// Mode selects how a replication advances through quiescent stretches of
+// the simulation.
+type Mode string
+
+const (
+	// ModeExact runs pure discrete-event simulation; the empty string
+	// means the same. Exact runs are the bit-identity baseline every
+	// golden pins.
+	ModeExact Mode = "exact"
+
+	// ModeHybrid fast-forwards quiescent windows analytically through
+	// the internal/fluid engine, probing with exact simulation around
+	// fleet transitions and on a periodic calibration schedule. Results
+	// match exact runs within metrics.HybridTolerance, not bit-exactly.
+	// Scenarios whose workload or options the engine cannot serve
+	// (non-tick sources, observing analyzers, tracing) silently run
+	// exact.
+	ModeHybrid Mode = "hybrid"
+)
+
+// Validate reports an unknown mode.
+func (m Mode) Validate() error {
+	switch m {
+	case "", ModeExact, ModeHybrid:
+		return nil
+	}
+	return fmt.Errorf("experiment: unknown mode %q (want %q or %q)", m, ModeExact, ModeHybrid)
+}
+
 // Scenario is one evaluation setup: a workload model, the analyzer the
 // adaptive policy uses on it, the QoS contract, and the static baseline
 // fleet sizes of the paper. It is the compiled (runnable) form of a
@@ -24,6 +53,7 @@ type Scenario struct {
 	Name    string
 	Scale   float64 // load scale: 1 = the paper's full intensity
 	Horizon float64 // simulated seconds per replication
+	Mode    Mode    // simulation mode; "" = ModeExact
 	Cfg     provision.Config
 
 	// NewSource builds a fresh workload source for one replication.
@@ -103,6 +133,9 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Horizon <= 0 {
 		return fmt.Errorf("experiment: scenario %q has non-positive horizon", sc.Name)
+	}
+	if err := sc.Mode.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", sc.Name, err)
 	}
 	if err := sc.Fault.Validate(); err != nil {
 		return fmt.Errorf("experiment: scenario %q: %w", sc.Name, err)

@@ -30,6 +30,9 @@ type ScenarioSpec struct {
 	// workload's own scale lives in Params). Zero means 1.
 	Scale   float64 `json:"scale,omitempty"`
 	Horizon float64 `json:"horizon"`
+	// Mode selects exact or hybrid fast-forward simulation; omitted
+	// means exact, keeping pre-mode spec files and goldens byte-stable.
+	Mode Mode `json:"mode,omitempty"`
 	// Config is the provisioner configuration (QoS contract, nominal
 	// service time, VM ceiling and spec).
 	Config provision.Config `json:"config"`
@@ -63,6 +66,7 @@ func (sp ScenarioSpec) Compile() (Scenario, error) {
 		Name:         sp.Name,
 		Scale:        scale,
 		Horizon:      sp.Horizon,
+		Mode:         sp.Mode,
 		Cfg:          sp.Config,
 		StaticFleets: slices.Clone(sp.StaticFleets),
 		Placement:    sp.Placement,

@@ -14,6 +14,7 @@ import (
 //	go run ./cmd/vmprovsim -dumpspec scientific -reps 3 -seed 1 > examples/specs/scientific_panel.json
 //	go run ./cmd/vmprovsim -dumpspec web-fault -reps 3 -seed 1 > examples/specs/web_fault_panel.json
 //	go run ./cmd/vmprovsim -dumpspec web-multi -reps 3 -seed 1 > examples/specs/web_multiclient_panel.json
+//	go run ./cmd/vmprovsim -dumpspec web-hybrid -reps 3 -seed 1 > examples/specs/web_hybrid_panel.json
 func TestGoldenSpecFiles(t *testing.T) {
 	cases := []struct {
 		file string
@@ -23,6 +24,7 @@ func TestGoldenSpecFiles(t *testing.T) {
 		{"scientific_panel.json", func() (PanelSpec, error) { return PaperPanel("scientific", 0, 3, 1) }},
 		{"web_fault_panel.json", func() (PanelSpec, error) { return FaultPanel(0, 3, 1) }},
 		{"web_multiclient_panel.json", func() (PanelSpec, error) { return MultiClientPanel(0, 3, 1) }},
+		{"web_hybrid_panel.json", func() (PanelSpec, error) { return HybridPanel(0, 3, 1) }},
 	}
 	for _, c := range cases {
 		path := filepath.Join("..", "..", "examples", "specs", c.file)

@@ -7,6 +7,7 @@ import (
 
 	"vmprov/internal/cloud"
 	"vmprov/internal/fault"
+	"vmprov/internal/fluid"
 	"vmprov/internal/metrics"
 	"vmprov/internal/provision"
 	"vmprov/internal/sim"
@@ -95,13 +96,27 @@ func (rc *RunContext) Run(sc Scenario, pol Policy, seed uint64, opts RunOptions)
 	ctrl.Attach(s, p)
 
 	emit := p.Submit
-	if obs, ok := analyzer.(workload.ObservingAnalyzer); ok {
+	_, observing := analyzer.(workload.ObservingAnalyzer)
+	if observing {
+		obs := analyzer.(workload.ObservingAnalyzer)
 		emit = func(q workload.Request) {
 			obs.Observe(q.Arrival)
 			p.Submit(q)
 		}
 	}
-	src.Start(s, rng, emit)
+	// Hybrid fast-forward replaces the source's event schedule with the
+	// fluid engine's probe/fluid tick loop when the run qualifies: the
+	// source must be tick-structured, and nothing may need to see every
+	// individual request (an observing analyzer learns from the arrival
+	// stream, a tracer records request lifecycles — both fall back to
+	// exact simulation).
+	if fsrc, ok := src.(workload.FluidSource); ok &&
+		sc.Mode == ModeHybrid && !observing && opts.Tracer == nil {
+		eng := fluid.New(fluid.Config{}, p, col, sc.Cfg.QoS.Ts)
+		eng.Start(s, fsrc, rng, emit)
+	} else {
+		src.Start(s, rng, emit)
+	}
 
 	s.RunUntil(sc.Horizon)
 	p.Shutdown(sc.Horizon)

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"vmprov/internal/stats"
+)
+
+// A bulk fluid window built from a set of requests must land the
+// collector on the same Result as completing those requests one by one —
+// AddFluidWindow is the exactness contract the hybrid engine's
+// approximations are measured against.
+func TestAddFluidWindowMatchesExactReplay(t *testing.T) {
+	const ts = 0.25
+	type obs struct{ exec, wait float64 }
+	served := []obs{
+		{0.10, 0.00}, {0.11, 0.02}, {0.09, 0.05}, {0.12, 0.00},
+		{0.10, 0.18}, {0.11, 0.01}, {0.10, 0.00}, {0.13, 0.04},
+	}
+	exact := NewCollector(ts)
+	var resp stats.Welford
+	shape := exact.NewRespShape()
+	var execSum, waitSum float64
+	var violated uint64
+	for i, o := range served {
+		start := float64(i)
+		exact.Complete(req(start-o.wait), start, start+o.exec)
+		// Mirror Complete's own response arithmetic bit for bit.
+		r := (start + o.exec) - (start - o.wait)
+		resp.Add(r)
+		shape.Add(r)
+		execSum += (start + o.exec) - start
+		waitSum += start - (start - o.wait)
+		if r > ts {
+			violated++
+		}
+	}
+	for i := 0; i < 3; i++ {
+		exact.Reject(req(float64(i)))
+	}
+	exact.InstanceRetired(100, 7.0)
+
+	fluid := NewCollector(ts)
+	fluid.InstanceRetired(100, 3.0) // window carries the other 4.0 busy seconds
+	fluid.AddFluidWindow(FluidWindow{
+		Accepted:    uint64(len(served)),
+		Rejected:    3,
+		Violated:    violated,
+		Resp:        stats.Summary(resp.N(), resp.Mean(), resp.M2(), resp.Min(), resp.Max()),
+		ExecSum:     execSum,
+		WaitSum:     waitSum,
+		BusySeconds: 4.0,
+		Shape:       shape,
+	})
+
+	a, b := exact.Result("p", 100), fluid.Result("p", 100)
+	if a.Accepted != b.Accepted || a.Rejected != b.Rejected || a.Violations != b.Violations {
+		t.Fatalf("counts differ: %+v vs %+v", a, b)
+	}
+	for _, c := range []struct {
+		name string
+		x, y float64
+	}{
+		{"rejection", a.RejectionRate, b.RejectionRate},
+		{"mean resp", a.MeanResponse, b.MeanResponse},
+		{"sd resp", a.StdResponse, b.StdResponse},
+		{"max resp", a.MaxResponse, b.MaxResponse},
+		{"mean exec", a.MeanExec, b.MeanExec},
+		{"mean wait", a.MeanWait, b.MeanWait},
+		{"p50", a.P50Response, b.P50Response},
+		{"p95", a.P95Response, b.P95Response},
+		{"utilization", a.Utilization, b.Utilization},
+	} {
+		if math.Abs(c.x-c.y) > 1e-12 {
+			t.Errorf("%s: exact %g vs fluid %g", c.name, c.x, c.y)
+		}
+	}
+	if !Equal(a, b) {
+		t.Errorf("results not Equal after bulk update:\nexact %+v\nfluid %+v", a, b)
+	}
+}
+
+// Windows accumulate: two windows fold in like one combined window.
+func TestAddFluidWindowAccumulates(t *testing.T) {
+	c := NewCollector(1)
+	c.AddFluidWindow(FluidWindow{Accepted: 10, Resp: stats.Summary(10, 0.1, 0, 0.1, 0.1), ExecSum: 1, BusySeconds: 1})
+	c.AddFluidWindow(FluidWindow{Accepted: 30, Rejected: 2, Resp: stats.Summary(30, 0.3, 0, 0.3, 0.3), ExecSum: 6, WaitSum: 3, BusySeconds: 6})
+	r := c.Result("p", 10)
+	if r.Accepted != 40 || r.Rejected != 2 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if math.Abs(r.MeanResponse-0.25) > 1e-12 {
+		t.Fatalf("mean response %g, want 0.25", r.MeanResponse)
+	}
+	if math.Abs(r.MeanExec-7.0/40) > 1e-12 || math.Abs(r.MeanWait-3.0/40) > 1e-12 {
+		t.Fatalf("exec/wait: %g/%g", r.MeanExec, r.MeanWait)
+	}
+}

@@ -208,6 +208,61 @@ func (c *Collector) Displace(req workload.Request) {
 	}
 }
 
+// FluidWindow is the bulk accounting of one analytically fast-forwarded
+// simulation window (see internal/fluid): request counts, accepted
+// response-time moments, execution/wait sums, the instance busy time the
+// window's accepted work represents, and an optional response-time shape
+// histogram whose mass is apportioned into the collector's percentile
+// histogram. Only class-0 untagged traffic can be fluid-advanced — hybrid
+// runs fall back to exact simulation for multi-client workloads — so the
+// window carries no per-class or per-client breakdown.
+type FluidWindow struct {
+	Accepted uint64
+	Rejected uint64
+	Violated uint64 // accepted responses above the QoS target
+
+	Resp    stats.Welford // response-time summary of the Accepted requests
+	ExecSum float64       // Σ execution times of the Accepted requests
+	WaitSum float64       // Σ queueing delays of the Accepted requests
+
+	// BusySeconds is the instance busy time the window's accepted work
+	// represents; fluid windows bypass real dispatch, so the instances'
+	// own busy accounting never sees it.
+	BusySeconds float64
+
+	// Shape, when non-nil, distributes the window's accepted responses
+	// over the collector's percentile histogram (same geometry).
+	Shape *stats.Histogram
+}
+
+// AddFluidWindow folds one fast-forwarded window into the run's totals,
+// keeping every aggregate the exact path feeds per request — counts,
+// response moments, the percentile histogram, violation and class-0
+// accounting, and the busy-seconds numerator of utilization — consistent
+// with a window-level bulk update.
+func (c *Collector) AddFluidWindow(w FluidWindow) {
+	c.accepted += w.Accepted
+	c.rejected += w.Rejected
+	c.violated += w.Violated
+	c.responses.Merge(w.Resp)
+	c.execSum += w.ExecSum
+	c.waitSum += w.WaitSum
+	c.busySeconds += w.BusySeconds
+	c.class0.accepted += w.Accepted
+	c.class0.rejected += w.Rejected
+	c.class0.respSum += w.Resp.Sum()
+	if w.Shape != nil {
+		c.respHist.AddShape(w.Shape, w.Accepted)
+	}
+}
+
+// NewRespShape returns an empty histogram sharing the collector's
+// response-time histogram geometry, for accumulating a FluidWindow.Shape
+// that AddFluidWindow can apportion without a geometry mismatch.
+func (c *Collector) NewRespShape() *stats.Histogram {
+	return stats.NewHistogram(c.respHist.Lo, c.respHist.Hi, len(c.respHist.Counts))
+}
+
 // SetInstances records that n instances are running at time t. The
 // Min/Max/Avg instance statistics only become meaningful once the fleet
 // actually holds an instance: a run that never scales up (every

@@ -199,6 +199,11 @@ type Provisioner struct {
 	// onRejected, when set, observes every request terminated by
 	// admission control or displacement.
 	onRejected func(workload.Request)
+	// onFleetChange, when set, is notified after every fleet transition —
+	// scaling decisions, activations, crashes, retirements. The hybrid
+	// fast-forward engine uses it to fall back to exact simulation around
+	// transitions.
+	onFleetChange func()
 	// tracer, when set, receives structured lifecycle events.
 	tracer trace.Recorder
 }
@@ -268,6 +273,19 @@ func (p *Provisioner) SetOnServed(fn func(inst int, req workload.Request, start,
 // SetOnRejected registers an observer for requests terminated by
 // admission control or displacement.
 func (p *Provisioner) SetOnRejected(fn func(req workload.Request)) { p.onRejected = fn }
+
+// SetOnFleetChange registers an observer invoked after every fleet
+// transition: a scaling decision (even a no-op one), an instance
+// activation, a crash, or a retirement. The committed size, the active
+// serving capacity, or the scaling target may have changed when it fires.
+func (p *Provisioner) SetOnFleetChange(fn func()) { p.onFleetChange = fn }
+
+// fleetChanged fires the fleet-transition observer, if any.
+func (p *Provisioner) fleetChanged() {
+	if p.onFleetChange != nil {
+		p.onFleetChange()
+	}
+}
 
 // SetTracer enables structured event tracing (request lifecycle, scaling
 // decisions, instance churn). Pass nil to disable.
@@ -408,6 +426,7 @@ func (p *Provisioner) retire(in *app.Instance) {
 	p.col.InstanceRetired(in.Lifetime(now), in.BusyTime)
 	p.removeInstance(in)
 	p.col.SetInstances(now, len(p.instances))
+	p.fleetChanged()
 }
 
 // removeInstance drops in from the live-instance slice and normalizes the
@@ -499,6 +518,7 @@ func (p *Provisioner) SetTarget(m int) {
 			Count: m, Value: float64(len(p.instances)),
 		})
 	}
+	p.fleetChanged()
 }
 
 func (p *Provisioner) scaleUp(need int) {
@@ -621,6 +641,7 @@ func (p *Provisioner) heal() {
 	if d := p.target - p.Committed(); d > 0 {
 		p.scaleUp(d)
 		p.col.SetInstances(p.sim.Now(), len(p.instances))
+		p.fleetChanged()
 	}
 }
 
@@ -640,6 +661,7 @@ func (p *Provisioner) activate(in *app.Instance) {
 		p.repairT = p.repairT[1:]
 	}
 	p.noteDeficit()
+	p.fleetChanged()
 }
 
 // bootEvent carries the provisioner alongside the instance through the
@@ -734,6 +756,7 @@ func (p *Provisioner) crash(in *app.Instance) {
 	}
 	p.trimRepairs()
 	p.noteDeficit()
+	p.fleetChanged()
 }
 
 // noteDeficit records the committed-capacity deficit fraction feeding the

@@ -77,6 +77,42 @@ func (f Fleet) SystemRejection() float64 {
 	return math.Max(shortfall, allFull)
 }
 
+// SharedBlocking returns the full-pool probability of the fleet modeled
+// as one shared M/M/m/(m·K) loss system: m servers of rate 1/Tm fed by
+// the undivided arrival stream, with m·K total slots. Where
+// SystemRejection's independence term Pr(S_k)^m assumes the m stations
+// fill independently, SharedBlocking assumes the opposite — a common
+// backlog — which matches a least-loaded dispatcher far better in the
+// transition band (per-instance ρ near 1): there the independence bound
+// is nearly flat in λ while the exact dynamics reject at a rate that
+// moves several orders of magnitude. Its log-sensitivity to load,
+// d ln P / d ln λ = mK − E[N], is what the fluid engine's rejection
+// extrapolation rides on.
+//
+// The birth–death recurrence runs in O(m·K) with on-the-fly
+// renormalization, so deep overload cannot overflow.
+func (f Fleet) SharedBlocking() float64 {
+	a := f.Lambda * f.Tm
+	if a <= 0 {
+		return 0
+	}
+	slots := f.M * f.K
+	p, sum := 1.0, 1.0 // π_n unnormalized, running Σπ
+	for n := 1; n <= slots; n++ {
+		busy := n
+		if busy > f.M {
+			busy = f.M
+		}
+		p *= a / float64(busy)
+		sum += p
+		if sum > 1e280 {
+			p /= sum
+			sum = 1
+		}
+	}
+	return p / sum
+}
+
 // ResponseTime returns the predicted response time of an accepted request:
 // the M/M/∞ provisioner adds no queueing delay, so it is the sojourn time
 // in one application-instance station.

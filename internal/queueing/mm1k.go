@@ -43,6 +43,12 @@ func (q MM1K) Rho() float64 { return q.Lambda / q.Mu }
 
 // ProbN returns the steady-state probability of n requests in the system,
 // P(N = n) = ρⁿ(1−ρ)/(1−ρ^{K+1}), with the ρ→1 limit 1/(K+1).
+//
+// The geometric form is evaluated in log space: with t = ln ρ (computed as
+// log1p(ρ−1) so it stays exact near saturation), the denominator is
+// −expm1((K+1)t), which keeps full relative precision where the naive
+// 1−ρ^{K+1} cancels catastrophically (ρ→1 with large K). In overload the
+// powers are folded as ρ^{n−K−1} so nothing overflows for any ρ or K.
 func (q MM1K) ProbN(n int) float64 {
 	if n < 0 || n > q.K {
 		return 0
@@ -54,10 +60,20 @@ func (q MM1K) ProbN(n int) float64 {
 		}
 		return 0
 	}
-	if nearOne(rho) {
+	d := rho - 1
+	if d == 0 {
 		return 1 / float64(q.K+1)
 	}
-	return math.Pow(rho, float64(n)) * (1 - rho) / (1 - math.Pow(rho, float64(q.K+1)))
+	t := math.Log1p(d)
+	k1 := float64(q.K + 1)
+	if d < 0 {
+		// ρ < 1: every factor is bounded — exp(n·t) ≤ 1, −d = 1−ρ exact,
+		// −expm1((K+1)t) ∈ (0, 1] with small relative error.
+		return math.Exp(float64(n)*t) * (-d) / (-math.Expm1(k1 * t))
+	}
+	// ρ > 1: normalize by ρ^{K+1} so the exponent n−K−1 ≤ 0 never
+	// overflows: P(n) = ρ^{n−K−1}(ρ−1)/(1−ρ^{−(K+1)}).
+	return math.Exp((float64(n)-k1)*t) * d / (-math.Expm1(-k1 * t))
 }
 
 // Blocking returns P(S_k) — the probability an arriving request finds the
@@ -65,18 +81,34 @@ func (q MM1K) ProbN(n int) float64 {
 func (q MM1K) Blocking() float64 { return q.ProbN(q.K) }
 
 // MeanNumber returns L, the expected number of requests in the system.
+//
+// The textbook form L = ρ/(1−ρ) − (K+1)ρ^{K+1}/(1−ρ^{K+1}) subtracts two
+// terms that both diverge like 1/|1−ρ| as ρ→1 while their difference stays
+// near K/2 — catastrophic cancellation exactly where the provisioner's
+// sizing search operates. With t = ln ρ both poles collapse to
+// L = 1/expm1(−t) − (K+1)/expm1(−(K+1)t), and for |(K+1)t| < 0.1 — where
+// that difference itself cancels — it is evaluated by its Bernoulli series
+// around the ρ=1 limit:
+// L = K/2 + t(c−1)/12 − t³(c²−1)/720 + t⁵(c³−1)/30240 with c = (K+1)²
+// (truncation ≲ 1e-13 relative at the branch point, where the direct form
+// amplifies rounding by only ≈20×, so the two branches agree there).
 func (q MM1K) MeanNumber() float64 {
 	rho := q.Rho()
 	if rho == 0 {
 		return 0
 	}
-	k := float64(q.K)
-	if nearOne(rho) {
-		return k / 2
+	d := rho - 1
+	if d == 0 {
+		return float64(q.K) / 2
 	}
-	// L = ρ/(1−ρ) − (K+1)ρ^{K+1}/(1−ρ^{K+1})
-	rk1 := math.Pow(rho, k+1)
-	return rho/(1-rho) - (k+1)*rk1/(1-rk1)
+	t := math.Log1p(d)
+	k1 := float64(q.K + 1)
+	if a := k1 * t; math.Abs(a) < 0.1 {
+		c := k1 * k1
+		t2 := t * t
+		return float64(q.K)/2 + t*(c-1)/12 - t*t2*(c*c-1)/720 + t*t2*t2*(c*c*c-1)/30240
+	}
+	return 1/math.Expm1(-t) - k1/math.Expm1(-k1*t)
 }
 
 // Throughput returns the accepted-request rate λ(1 − P(S_k)).
@@ -105,7 +137,3 @@ func (q MM1K) OfferedUtilization() float64 { return q.Rho() }
 // CarriedUtilization returns the probability the server is busy,
 // 1 − P(N = 0) = ρ(1 − P(S_k)).
 func (q MM1K) CarriedUtilization() float64 { return 1 - q.ProbN(0) }
-
-// nearOne reports whether ρ is close enough to 1 that the geometric-series
-// closed forms lose precision and the ρ=1 limits should be used.
-func nearOne(rho float64) bool { return math.Abs(rho-1) < 1e-9 }

@@ -1,0 +1,168 @@
+package queueing
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// High-precision references for the M/M/1/K closed forms, evaluated with
+// 600-bit big.Float arithmetic straight from the textbook formulas — at
+// that precision the cancellation that ruins float64 near ρ=1 is
+// harmless, so the results are trustworthy to far beyond float64.
+
+const refPrec = 600
+
+func bigPow(x *big.Float, n int) *big.Float {
+	r := big.NewFloat(1).SetPrec(refPrec)
+	b := new(big.Float).SetPrec(refPrec).Set(x)
+	for n > 0 {
+		if n&1 == 1 {
+			r.Mul(r, b)
+		}
+		b.Mul(b, b)
+		n >>= 1
+	}
+	return r
+}
+
+// refProbN is P(N=n) = ρⁿ(1−ρ)/(1−ρ^{K+1}) in big arithmetic.
+func refProbN(rho float64, k, n int) float64 {
+	r := big.NewFloat(rho).SetPrec(refPrec)
+	one := big.NewFloat(1).SetPrec(refPrec)
+	num := new(big.Float).SetPrec(refPrec).Sub(one, r)
+	num.Mul(num, bigPow(r, n))
+	den := new(big.Float).SetPrec(refPrec).Sub(one, bigPow(r, k+1))
+	out, _ := new(big.Float).SetPrec(refPrec).Quo(num, den).Float64()
+	return out
+}
+
+// refMeanNumber is L = ρ/(1−ρ) − (K+1)ρ^{K+1}/(1−ρ^{K+1}) in big
+// arithmetic.
+func refMeanNumber(rho float64, k int) float64 {
+	r := big.NewFloat(rho).SetPrec(refPrec)
+	one := big.NewFloat(1).SetPrec(refPrec)
+	a := new(big.Float).SetPrec(refPrec).Quo(r, new(big.Float).SetPrec(refPrec).Sub(one, r))
+	rk1 := bigPow(r, k+1)
+	b := new(big.Float).SetPrec(refPrec).Mul(big.NewFloat(float64(k+1)).SetPrec(refPrec), rk1)
+	b.Quo(b, new(big.Float).SetPrec(refPrec).Sub(one, rk1))
+	out, _ := a.Sub(a, b).Float64()
+	return out
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// The saturation grid: the old math.Pow forms lose all precision on the
+// ρ→1 rows with large K (the naive 1−ρ^{K+1} retains no correct digits
+// at |1−ρ|·K ≪ 1e-9·K), and the old nearOne threshold flattened everything
+// within 1e-9 of saturation to the ρ=1 limit. Every row must now agree
+// with the 600-bit reference to 1e-10 relative.
+var saturationCases = []struct {
+	name string
+	rho  float64
+	k    int
+}{
+	{"paper-web", 0.5, 2},
+	{"moderate", 0.9, 10},
+	{"near-sat-small-k", 0.999999, 10},
+	{"old-nearone-band-under", 1 - 1e-10, 5},
+	{"old-nearone-band-over", 1 + 1e-10, 5},
+	{"ulp-under", 1 - 1e-13, 1000},
+	{"ulp-over", 1 + 1e-12, 100},
+	{"large-k-under", 0.9999, 100000},
+	{"large-k-over", 1.00001, 100000},
+	{"series-branch-edge", 1 + 0.09/1001, 1000}, // |(K+1)·lnρ| just inside 0.1
+	{"direct-branch-edge", 1 + 0.11/1001, 1000}, // just outside 0.1
+	{"overload", 2, 50},
+	{"deep-overload", 100, 8},
+}
+
+func TestProbNStability(t *testing.T) {
+	const tol = 1e-10
+	for _, c := range saturationCases {
+		q := MM1K{Lambda: c.rho, Mu: 1, K: c.k}
+		for _, n := range []int{0, 1, c.k / 2, c.k} {
+			got := q.ProbN(n)
+			want := refProbN(c.rho, c.k, n)
+			if want != 0 && want < math.SmallestNonzeroFloat64 {
+				continue // below float64 range; 0 is the right answer
+			}
+			if e := relErr(got, want); e > tol {
+				t.Errorf("%s: ProbN(%d) with rho=%v K=%d: got %g want %g (rel err %.2g)",
+					c.name, n, c.rho, c.k, got, want, e)
+			}
+		}
+	}
+}
+
+func TestMeanNumberStability(t *testing.T) {
+	const tol = 1e-10
+	for _, c := range saturationCases {
+		q := MM1K{Lambda: c.rho, Mu: 1, K: c.k}
+		got := q.MeanNumber()
+		want := refMeanNumber(c.rho, c.k)
+		if e := relErr(got, want); e > tol {
+			t.Errorf("%s: MeanNumber with rho=%v K=%d: got %g want %g (rel err %.2g)",
+				c.name, c.rho, c.k, got, want, e)
+		}
+	}
+}
+
+// Blocking and ResponseTime are thin compositions of ProbN/MeanNumber;
+// pin them near saturation too, where the provisioner's sizing search
+// actually evaluates them.
+func TestDerivedStability(t *testing.T) {
+	const tol = 1e-9
+	for _, c := range saturationCases {
+		q := MM1K{Lambda: c.rho, Mu: 1, K: c.k}
+		wantB := refProbN(c.rho, c.k, c.k)
+		if wantB >= math.SmallestNonzeroFloat64 {
+			if e := relErr(q.Blocking(), wantB); e > tol {
+				t.Errorf("%s: Blocking rel err %.2g", c.name, e)
+			}
+		}
+		wantT := refMeanNumber(c.rho, c.k) / (c.rho * (1 - wantB))
+		if e := relErr(q.ResponseTime(), wantT); e > tol {
+			t.Errorf("%s: ResponseTime rel err %.2g (got %g want %g)",
+				c.name, e, q.ResponseTime(), wantT)
+		}
+	}
+}
+
+// The exact-saturation point and the degenerate loads keep their limits.
+func TestSaturationLimits(t *testing.T) {
+	q := MM1K{Lambda: 1, Mu: 1, K: 7}
+	if got, want := q.ProbN(3), 1.0/8; got != want {
+		t.Errorf("ProbN at rho=1: got %g want %g", got, want)
+	}
+	if got, want := q.MeanNumber(), 3.5; got != want {
+		t.Errorf("MeanNumber at rho=1: got %g want %g", got, want)
+	}
+	z := MM1K{Lambda: 0, Mu: 1, K: 3}
+	if z.ProbN(0) != 1 || z.ProbN(1) != 0 || z.MeanNumber() != 0 {
+		t.Errorf("zero-load limits broken: P0=%g P1=%g L=%g", z.ProbN(0), z.ProbN(1), z.MeanNumber())
+	}
+}
+
+// Probabilities must still sum to one across the whole grid — a cheap
+// global self-consistency check on the log-space forms.
+func TestProbNSumsToOne(t *testing.T) {
+	for _, c := range saturationCases {
+		if c.k > 10000 {
+			continue
+		}
+		q := MM1K{Lambda: c.rho, Mu: 1, K: c.k}
+		sum := 0.0
+		for n := 0; n <= c.k; n++ {
+			sum += q.ProbN(n)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: ΣP(n) = %g, want 1", c.name, sum)
+		}
+	}
+}

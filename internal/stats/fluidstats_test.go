@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// A Summary must merge into a streaming Welford exactly like replaying
+// the observations it stands for.
+func TestSummaryMergesLikeObservations(t *testing.T) {
+	obs := []float64{0.11, 0.13, 0.10, 0.22, 0.15, 0.12}
+	var direct Welford
+	for _, x := range obs {
+		direct.Add(x)
+	}
+	bulk := Summary(direct.N(), direct.Mean(), direct.Var()*float64(direct.N()-1), direct.Min(), direct.Max())
+
+	var a, b Welford
+	a.Add(0.5)
+	a.Add(0.7)
+	b.Add(0.5)
+	b.Add(0.7)
+	a.Merge(bulk)
+	for _, x := range obs {
+		b.Add(x)
+	}
+	if a.N() != b.N() {
+		t.Fatalf("n: %d vs %d", a.N(), b.N())
+	}
+	for _, c := range []struct {
+		name string
+		x, y float64
+	}{
+		{"mean", a.Mean(), b.Mean()},
+		{"std", a.Std(), b.Std()},
+		{"min", a.Min(), b.Min()},
+		{"max", a.Max(), b.Max()},
+	} {
+		if math.Abs(c.x-c.y) > 1e-12 {
+			t.Errorf("%s: %g vs %g", c.name, c.x, c.y)
+		}
+	}
+}
+
+func TestSummaryZero(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	w.Merge(Summary(0, 99, 99, 99, 99))
+	if w.N() != 1 || w.Mean() != 3 {
+		t.Fatalf("merging an empty summary changed the accumulator: %v", w.String())
+	}
+}
+
+// AddShape must add exactly n observations, in proportion to the source
+// shape, deterministically.
+func TestHistogramAddShape(t *testing.T) {
+	src := NewHistogram(0, 1, 10)
+	for i := 0; i < 30; i++ {
+		src.Add(0.05) // bucket 0
+	}
+	for i := 0; i < 60; i++ {
+		src.Add(0.55) // bucket 5
+	}
+	for i := 0; i < 10; i++ {
+		src.Add(0.95) // bucket 9
+	}
+	h := NewHistogram(0, 1, 10)
+	h.Add(0.55)
+	h.AddShape(src, 1000)
+	if h.Total() != 1001 {
+		t.Fatalf("total %d, want 1001", h.Total())
+	}
+	var sum uint64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum+h.Under+h.Over != 1001 {
+		t.Fatalf("counts sum %d, want 1001", sum+h.Under+h.Over)
+	}
+	// 30/60/10 per hundred of 1000 → exactly 300/600/100.
+	if h.Counts[0] != 300 || h.Counts[5] != 601 || h.Counts[9] != 100 {
+		t.Fatalf("apportionment off: %d/%d/%d", h.Counts[0], h.Counts[5], h.Counts[9])
+	}
+	// Untouched buckets stay empty.
+	if h.Counts[1] != 0 || h.Counts[4] != 0 {
+		t.Fatalf("mass leaked into empty buckets")
+	}
+}
+
+// Apportionment with a count that does not divide evenly must still sum
+// exactly and be reproducible.
+func TestHistogramAddShapeRemainder(t *testing.T) {
+	src := NewHistogram(0, 1, 3)
+	src.Add(0.1)
+	src.Add(0.5)
+	src.Add(0.9)
+	for trial := 0; trial < 3; trial++ {
+		h := NewHistogram(0, 1, 3)
+		h.AddShape(src, 7)
+		var sum uint64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != 7 {
+			t.Fatalf("trial %d: sum %d, want 7", trial, sum)
+		}
+		// Error diffusion on thirds of 7: cum 2.33→2, 4.67→4, 7→7.
+		if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[2] != 3 {
+			t.Fatalf("trial %d: got %v", trial, h.Counts)
+		}
+	}
+}
+
+// Under/overflow mass participates in the apportionment.
+func TestHistogramAddShapeOutOfRange(t *testing.T) {
+	src := NewHistogram(0, 1, 4)
+	src.Add(-1)
+	src.Add(0.3)
+	src.Add(2)
+	src.Add(2)
+	h := NewHistogram(0, 1, 4)
+	h.AddShape(src, 8)
+	if h.Under != 2 || h.Over != 4 || h.Counts[1] != 2 {
+		t.Fatalf("got under=%d over=%d counts=%v", h.Under, h.Over, h.Counts)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramAddShapeGeometryMismatch(t *testing.T) {
+	src := NewHistogram(0, 1, 4)
+	src.Add(0.5)
+	h := NewHistogram(0, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched geometry must panic")
+		}
+	}()
+	h.AddShape(src, 1)
+}

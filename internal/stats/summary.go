@@ -58,6 +58,17 @@ func (w *Welford) Merge(o Welford) {
 	w.n = n
 }
 
+// Summary constructs a Welford holding n synthetic observations with the
+// given mean, sum of squared deviations (m2 = (n−1)·sample variance), and
+// extremes — the bulk form a fluid fast-forward window folds into a
+// collector via Merge. A zero n yields the empty summary.
+func Summary(n uint64, mean, m2, min, max float64) Welford {
+	if n == 0 {
+		return Welford{}
+	}
+	return Welford{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
 // N returns the number of observations.
 func (w *Welford) N() uint64 { return w.n }
 
@@ -72,6 +83,10 @@ func (w *Welford) Var() float64 {
 	}
 	return w.m2 / float64(w.n-1)
 }
+
+// M2 returns the raw sum of squared deviations from the mean — the third
+// argument Summary wants back when a Welford is serialized and rebuilt.
+func (w *Welford) M2() float64 { return w.m2 }
 
 // Std returns the sample standard deviation.
 func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
@@ -203,6 +218,65 @@ func (h *Histogram) Add(x float64) {
 
 // Total returns the number of observations including out-of-range ones.
 func (h *Histogram) Total() uint64 { return h.total }
+
+// AddShape folds n synthetic observations into h, distributed over the
+// buckets (under/overflow included) in proportion to the shape histogram
+// src, which must share h's geometry. The integer apportionment uses
+// deterministic error diffusion — cumulative targets rounded down, each
+// bucket receiving the increment of the running floor — so the added
+// counts always sum to exactly n and the result is a pure function of
+// (src, n): no random draws, bit-identical across runs. Buckets src never
+// touched receive nothing. A zero-total src leaves h unchanged.
+func (h *Histogram) AddShape(src *Histogram, n uint64) {
+	if n == 0 || src.total == 0 {
+		return
+	}
+	if len(src.Counts) != len(h.Counts) || src.Lo != h.Lo || src.Hi != h.Hi {
+		panic("stats: Histogram.AddShape requires matching geometry")
+	}
+	f := float64(n) / float64(src.total)
+	var cum float64
+	var given uint64
+	put := func(c uint64) uint64 {
+		if c == 0 {
+			return 0
+		}
+		cum += float64(c) * f
+		next := uint64(cum)
+		if next > n {
+			next = n
+		}
+		d := next - given
+		given = next
+		return d
+	}
+	h.Under += put(src.Under)
+	for i, c := range src.Counts {
+		h.Counts[i] += put(c)
+	}
+	h.Over += put(src.Over)
+	// Rounding shortfall (cum ended a hair under n): attribute the
+	// leftovers to the last populated bucket so totals balance.
+	if given < n {
+		rest := n - given
+		switch {
+		case src.Over > 0:
+			h.Over += rest
+		default:
+			for i := len(src.Counts) - 1; i >= 0; i-- {
+				if src.Counts[i] > 0 {
+					h.Counts[i] += rest
+					rest = 0
+					break
+				}
+			}
+			if rest > 0 {
+				h.Under += rest
+			}
+		}
+	}
+	h.total += n
+}
 
 // Quantile returns an approximate q-quantile (0 ≤ q ≤ 1) assuming uniform
 // density within buckets. Underflow mass is attributed to Lo and overflow

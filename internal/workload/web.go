@@ -95,50 +95,91 @@ func (w *Web) MeanRate(t float64) float64 {
 // walks it with a single self-rescheduling kernel event. At full scale
 // this replaces ≈500 M per-request events-plus-closures per simulated
 // week with one pooled event and zero per-request allocations.
+//
+// The tick body lives in webTicker, the FluidSource seam the hybrid
+// engine drives directly; Start is exactly the all-ticks-exact schedule.
 func (w *Web) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
-	arr := r.Split("web/arrivals")
-	svc := r.Split("web/service")
-	service := stats.Scaled{
-		S:      stats.Uniform{Min: 1, Max: 1 + w.Jitter},
-		Factor: w.BaseService,
-	}
-	wk := newBatchWalker(s, emit)
+	tk := w.NewTicker(s, r, emit)
 	s.Every(0, w.Interval, func(now float64) {
-		mean := w.MeanRate(now)
-		rate := stats.TruncatedNormal{Mu: mean, Sigma: w.NoiseSigma * mean}.Sample(arr)
-		n := int(math.Round(rate * w.Interval))
-		if n <= 0 {
-			return
-		}
-		if wk.active() {
-			// A prior batch is still draining — possible only when a
-			// sampled arrival rounded up to exactly the tick boundary.
-			// Leave the old walker to finish and start a fresh one.
-			wk = newBatchWalker(s, emit)
-		}
-		batch := wk.batch[:0]
-		// Fused counting: bucket occupancy is tallied while sampling, so
-		// startUniform skips its counting pass over the batch.
-		counts, scale := wk.precount(n, w.Interval)
-		for i := 0; i < n; i++ {
-			at := now + arr.Float64()*w.Interval
-			if counts != nil {
-				b := int((at - now) * scale)
-				if b >= n {
-					b = n - 1
-				} else if b < 0 {
-					b = 0
-				}
-				counts[b]++
-			}
-			batch = append(batch, Request{
-				ID:      w.ids.next(),
-				Arrival: at,
-				Service: service.Sample(svc),
-			})
-		}
-		wk.startUniform(batch, now, w.Interval)
+		tk.Emit(now, tk.SampleCount(now))
 	})
+}
+
+// TickInterval returns the batch interval, implementing FluidSource.
+func (w *Web) TickInterval() float64 { return w.Interval }
+
+// NewTicker builds the web generator's per-run tick state: the arrival
+// and service substreams (split from r in Start's order) and the pooled
+// batch walker.
+func (w *Web) NewTicker(s *sim.Sim, r *stats.RNG, emit func(Request)) Ticker {
+	return &webTicker{
+		w:   w,
+		s:   s,
+		arr: r.Split("web/arrivals"),
+		svc: r.Split("web/service"),
+		service: stats.Scaled{
+			S:      stats.Uniform{Min: 1, Max: 1 + w.Jitter},
+			Factor: w.BaseService,
+		},
+		emit: emit,
+		wk:   newBatchWalker(s, emit),
+	}
+}
+
+// webTicker is one run's tick state for the web generator.
+type webTicker struct {
+	w       *Web
+	s       *sim.Sim
+	arr     *stats.RNG
+	svc     *stats.RNG
+	service stats.Scaled
+	emit    func(Request)
+	wk      *batchWalker
+}
+
+// SampleCount draws the tick's realized request count: the rate is
+// N(r, NoiseSigma·r) clamped at zero, times the interval, rounded.
+func (tk *webTicker) SampleCount(now float64) int {
+	mean := tk.w.MeanRate(now)
+	rate := stats.TruncatedNormal{Mu: mean, Sigma: tk.w.NoiseSigma * mean}.Sample(tk.arr)
+	return int(math.Round(rate * tk.w.Interval))
+}
+
+// Emit injects n requests uniformly over [now, now+Interval) through the
+// pooled batch walker.
+func (tk *webTicker) Emit(now float64, n int) {
+	if n <= 0 {
+		return
+	}
+	w := tk.w
+	if tk.wk.active() {
+		// A prior batch is still draining — possible only when a
+		// sampled arrival rounded up to exactly the tick boundary.
+		// Leave the old walker to finish and start a fresh one.
+		tk.wk = newBatchWalker(tk.s, tk.emit)
+	}
+	batch := tk.wk.batch[:0]
+	// Fused counting: bucket occupancy is tallied while sampling, so
+	// startUniform skips its counting pass over the batch.
+	counts, scale := tk.wk.precount(n, w.Interval)
+	for i := 0; i < n; i++ {
+		at := now + tk.arr.Float64()*w.Interval
+		if counts != nil {
+			b := int((at - now) * scale)
+			if b >= n {
+				b = n - 1
+			} else if b < 0 {
+				b = 0
+			}
+			counts[b]++
+		}
+		batch = append(batch, Request{
+			ID:      w.ids.next(),
+			Arrival: at,
+			Service: tk.service.Sample(tk.svc),
+		})
+	}
+	tk.wk.startUniform(batch, now, w.Interval)
 }
 
 // batchWalker drains a pre-sampled batch of requests through one pooled

@@ -84,6 +84,41 @@ type ObservingAnalyzer interface {
 	Observe(t float64)
 }
 
+// Ticker is one interval of a tick-structured source, split into the two
+// halves the hybrid fast-forward engine needs to control separately: how
+// many requests the interval realizes (a draw from the source's rate
+// process) and the exact discrete-event injection of that many requests.
+// Exact simulation calls both every tick; the fluid engine still calls
+// SampleCount every tick — the realized counts ARE the workload — but
+// replaces Emit with an analytical bulk update during quiescent windows.
+type Ticker interface {
+	// SampleCount draws the number of requests arriving in the tick
+	// starting at now, advancing the source's rate stream exactly as
+	// exact simulation does.
+	SampleCount(now float64) int
+
+	// Emit injects n requests over [now, now+interval) as discrete
+	// arrival events, advancing the source's per-request streams.
+	Emit(now float64, n int)
+}
+
+// FluidSource is a Source whose arrival process is generated in fixed
+// ticks and can therefore be split for hybrid fluid/exact simulation. The
+// contract: Start must be behaviorally identical to calling
+// tk.Emit(now, tk.SampleCount(now)) on a fresh NewTicker every
+// TickInterval seconds — the exact mode of the hybrid engine relies on
+// that equivalence to stay bit-identical to Start.
+type FluidSource interface {
+	Source
+
+	// TickInterval returns the tick length in seconds.
+	TickInterval() float64
+
+	// NewTicker builds the source's per-run tick state on s, drawing from
+	// the same substreams of r that Start would.
+	NewTicker(s *sim.Sim, r *stats.RNG, emit func(Request)) Ticker
+}
+
 // counter hands out request IDs within one source.
 type counter struct{ n uint64 }
 

@@ -62,6 +62,20 @@ type (
 	// RetryPolicy shapes the provisioner's self-healing retry/backoff
 	// loop; the zero value selects the defaults.
 	RetryPolicy = provision.RetryPolicy
+	// Mode selects how replications execute: exact discrete-event
+	// simulation, or hybrid analytical fast-forward between scaling
+	// decisions.
+	Mode = experiment.Mode
+)
+
+// Simulation modes. The empty Mode is ModeExact.
+const (
+	// ModeExact runs pure discrete-event simulation.
+	ModeExact = experiment.ModeExact
+	// ModeHybrid fast-forwards quiescent windows through the closed-form
+	// performance model, probing with exact windows on a calibration
+	// schedule; results match exact runs within metrics.HybridTolerance.
+	ModeHybrid = experiment.ModeHybrid
 )
 
 // StaticWildcard is the panel policy token ("static:*") expanding to a
@@ -98,6 +112,12 @@ func MultiSpec(scale float64) ScenarioSpec { return experiment.MultiSpec(scale) 
 // web-multi scenario, adaptive against the full static ladder.
 func MultiClientPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
 	return experiment.MultiClientPanel(scale, reps, seed)
+}
+
+// HybridPanel returns the built-in hybrid fast-forward panel: the web
+// scenario in ModeHybrid, adaptive against the full static ladder.
+func HybridPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
+	return experiment.HybridPanel(scale, reps, seed)
 }
 
 // ParsePanelSpec strictly decodes a JSON panel spec (unknown fields are
