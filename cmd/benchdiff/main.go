@@ -1,16 +1,27 @@
-// benchdiff compares two -benchsweep reports and fails when the new
-// one regresses beyond a tolerance, so `make bench-compare` can gate
-// changes against the committed BENCH_sweep.json.
+// benchdiff compares two benchmark reports of the same kind and fails
+// when the new one regresses beyond a tolerance, so `make bench-compare`
+// can gate changes against every committed BENCH_*.json trajectory.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_sweep.json -new /tmp/BENCH_sweep_now.json -tolerance 0.20
+//	benchdiff -old BENCH_ff.json    -new /tmp/BENCH_ff_now.json
+//	benchdiff -old BENCH_mpc.json   -new /tmp/BENCH_mpc_now.json
 //
-// Runs are matched by (engine, workers). For each pair the replication
-// throughput is compared; a drop of more than the tolerance on any
-// matched run exits non-zero. Allocation counts are reported but not
-// gated — they vary with GC timing far less than wall-clock noise, yet
-// a hard gate on them would still flake on warmup effects.
+// The report kind is auto-detected from the file shape:
+//
+//   - sweep reports (a "runs" array) match runs by (engine, workers) and
+//     gate the replication-throughput drop. Allocation counts are shown
+//     but not gated — they vary with GC timing far less than wall-clock
+//     noise, yet a hard gate on them would still flake on warmup effects.
+//   - fast-forward reports ("exact_wall_seconds") gate the hybrid
+//     speedup drop and require the new report to stay within the
+//     declared accuracy tolerance.
+//   - mpc reports ("bench": "mpc") match policies by name and gate each
+//     policy's cost + QoS objective increase — the simulated figures are
+//     deterministic, so the tolerance only absorbs intended retunings.
+//
+// Both files must be the same kind; comparing across kinds is an error.
 package main
 
 import (
@@ -20,7 +31,7 @@ import (
 	"os"
 )
 
-type run struct {
+type sweepRun struct {
 	Engine       string  `json:"engine"`
 	Workers      int     `json:"workers"`
 	Jobs         int     `json:"jobs"`
@@ -29,12 +40,58 @@ type run struct {
 	AllocsPerRep float64 `json:"allocs_per_rep"`
 }
 
+type ffPolicy struct {
+	Policy    string `json:"policy"`
+	WithinTol bool   `json:"within_tolerance"`
+}
+
+type mpcPolicy struct {
+	Policy    string  `json:"policy"`
+	Objective float64 `json:"objective"`
+}
+
+// report is the union of every committed bench format; kind() tells the
+// shapes apart by their distinguishing fields.
 type report struct {
+	Bench    string  `json:"bench"`
 	Scenario string  `json:"scenario"`
 	Scale    float64 `json:"scale"`
 	HorizonS float64 `json:"horizon_s"`
 	Reps     int     `json:"reps"`
-	Runs     []run   `json:"runs"`
+
+	// sweep shape
+	Runs []sweepRun `json:"runs"`
+
+	// ff shape
+	ExactWallSecs  *float64   `json:"exact_wall_seconds"`
+	HybridWallSecs float64    `json:"hybrid_wall_seconds"`
+	Speedup        float64    `json:"speedup"`
+	EventReduction float64    `json:"event_reduction"`
+	AllWithinTol   bool       `json:"all_within_tolerance"`
+	FFPolicies     []ffPolicy `json:"-"`
+
+	// mpc shape
+	MPCPolicies  []mpcPolicy `json:"-"`
+	MPCObjective float64     `json:"mpc_objective"`
+	MPCvsBest    float64     `json:"mpc_vs_best_baseline"`
+}
+
+// reportPolicies splits the shape-dependent "policies" array, decoded in
+// a second pass once the kind is known.
+type reportPolicies struct {
+	Policies json.RawMessage `json:"policies"`
+}
+
+func (r *report) kind() string {
+	switch {
+	case r.Bench != "":
+		return r.Bench
+	case len(r.Runs) > 0:
+		return "sweep"
+	case r.ExactWallSecs != nil:
+		return "ff"
+	}
+	return ""
 }
 
 func load(path string) (report, error) {
@@ -46,16 +103,131 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return rep, fmt.Errorf("parse %s: %w", path, err)
 	}
-	if len(rep.Runs) == 0 {
-		return rep, fmt.Errorf("%s has no runs", path)
+	var pols reportPolicies
+	if err := json.Unmarshal(data, &pols); err != nil {
+		return rep, fmt.Errorf("parse %s: %w", path, err)
+	}
+	switch rep.kind() {
+	case "sweep":
+	case "ff":
+		if err := json.Unmarshal(pols.Policies, &rep.FFPolicies); err != nil {
+			return rep, fmt.Errorf("parse %s policies: %w", path, err)
+		}
+	case "mpc":
+		if err := json.Unmarshal(pols.Policies, &rep.MPCPolicies); err != nil {
+			return rep, fmt.Errorf("parse %s policies: %w", path, err)
+		}
+		if len(rep.MPCPolicies) == 0 {
+			return rep, fmt.Errorf("%s has no policies", path)
+		}
+	default:
+		return rep, fmt.Errorf("%s is not a recognized bench report (no runs, exact_wall_seconds, or bench marker)", path)
 	}
 	return rep, nil
+}
+
+// diffSweep gates replication throughput per (engine, workers) run.
+func diffSweep(oldRep, newRep report, tol float64) int {
+	oldByKey := make(map[string]sweepRun, len(oldRep.Runs))
+	for _, r := range oldRep.Runs {
+		oldByKey[fmt.Sprintf("%s/%d", r.Engine, r.Workers)] = r
+	}
+	failed := false
+	matched := 0
+	fmt.Printf("%-14s %12s %12s %8s %14s\n", "run", "old reps/s", "new reps/s", "Δ", "allocs/rep")
+	for _, n := range newRep.Runs {
+		key := fmt.Sprintf("%s/%d", n.Engine, n.Workers)
+		o, ok := oldByKey[key]
+		if !ok {
+			fmt.Printf("%-14s %12s %12.2f %8s %14.0f  (new run, no baseline)\n", key, "—", n.RepsPerSec, "—", n.AllocsPerRep)
+			continue
+		}
+		matched++
+		delta := n.RepsPerSec/o.RepsPerSec - 1
+		status := ""
+		if delta < -tol {
+			status = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-14s %12.2f %12.2f %+7.1f%% %7.0f→%-6.0f%s\n",
+			key, o.RepsPerSec, n.RepsPerSec, delta*100, o.AllocsPerRep, n.AllocsPerRep, status)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no runs matched between reports")
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% on at least one run\n", tol*100)
+		return 1
+	}
+	fmt.Printf("ok: %d run(s) within %.0f%% of baseline\n", matched, tol*100)
+	return 0
+}
+
+// diffFF gates the hybrid engine's wall-time speedup and its accuracy
+// contract.
+func diffFF(oldRep, newRep report, tol float64) int {
+	fmt.Printf("%-10s %10s %10s %8s\n", "metric", "old", "new", "Δ")
+	sd := newRep.Speedup/oldRep.Speedup - 1
+	fmt.Printf("%-10s %9.2f× %9.2f× %+7.1f%%\n", "speedup", oldRep.Speedup, newRep.Speedup, sd*100)
+	fmt.Printf("%-10s %9.2f× %9.2f×\n", "events", oldRep.EventReduction, newRep.EventReduction)
+	if !newRep.AllWithinTol {
+		for _, p := range newRep.FFPolicies {
+			if !p.WithinTol {
+				fmt.Fprintf(os.Stderr, "benchdiff: policy %s outside the hybrid accuracy tolerance\n", p.Policy)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "benchdiff: new ff report breaks the accuracy contract")
+		return 1
+	}
+	if sd < -tol {
+		fmt.Fprintf(os.Stderr, "benchdiff: hybrid speedup regressed more than %.0f%%\n", tol*100)
+		return 1
+	}
+	fmt.Printf("ok: speedup within %.0f%% of baseline, all policies within tolerance\n", tol*100)
+	return 0
+}
+
+// diffMPC gates each policy's cost + QoS objective (lower is better).
+func diffMPC(oldRep, newRep report, tol float64) int {
+	oldByName := make(map[string]float64, len(oldRep.MPCPolicies))
+	for _, p := range oldRep.MPCPolicies {
+		oldByName[p.Policy] = p.Objective
+	}
+	failed := false
+	matched := 0
+	fmt.Printf("%-12s %14s %14s %8s\n", "policy", "old objective", "new objective", "Δ")
+	for _, n := range newRep.MPCPolicies {
+		o, ok := oldByName[n.Policy]
+		if !ok {
+			fmt.Printf("%-12s %14s %14.0f %8s  (new policy, no baseline)\n", n.Policy, "—", n.Objective, "—")
+			continue
+		}
+		matched++
+		delta := n.Objective/o - 1
+		status := ""
+		if delta > tol {
+			status = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+7.1f%%%s\n", n.Policy, o, n.Objective, delta*100, status)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no policies matched between reports")
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: objective regressed more than %.0f%% on at least one policy\n", tol*100)
+		return 1
+	}
+	fmt.Printf("ok: %d policy objective(s) within %.0f%% of baseline\n", matched, tol*100)
+	return 0
 }
 
 func main() {
 	oldPath := flag.String("old", "BENCH_sweep.json", "committed baseline report")
 	newPath := flag.String("new", "", "freshly measured report")
-	tol := flag.Float64("tolerance", 0.20, "max allowed fractional throughput drop")
+	tol := flag.Float64("tolerance", 0.20, "max allowed fractional regression (throughput/speedup drop, or objective increase)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -72,6 +244,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
+	kind := oldRep.kind()
+	if nk := newRep.kind(); nk != kind {
+		fmt.Fprintf(os.Stderr, "benchdiff: report kind mismatch: old is %q, new is %q\n", kind, nk)
+		os.Exit(2)
+	}
 	if oldRep.Scenario != newRep.Scenario || oldRep.Scale != newRep.Scale ||
 		oldRep.HorizonS != newRep.HorizonS || oldRep.Reps != newRep.Reps {
 		fmt.Fprintf(os.Stderr, "benchdiff: panel mismatch: old %s scale %g horizon %g reps %d vs new %s scale %g horizon %g reps %d\n",
@@ -80,38 +257,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	oldByKey := make(map[string]run, len(oldRep.Runs))
-	for _, r := range oldRep.Runs {
-		oldByKey[fmt.Sprintf("%s/%d", r.Engine, r.Workers)] = r
+	switch kind {
+	case "sweep":
+		os.Exit(diffSweep(oldRep, newRep, *tol))
+	case "ff":
+		os.Exit(diffFF(oldRep, newRep, *tol))
+	case "mpc":
+		os.Exit(diffMPC(oldRep, newRep, *tol))
 	}
-
-	failed := false
-	matched := 0
-	fmt.Printf("%-14s %12s %12s %8s %14s\n", "run", "old reps/s", "new reps/s", "Δ", "allocs/rep")
-	for _, n := range newRep.Runs {
-		key := fmt.Sprintf("%s/%d", n.Engine, n.Workers)
-		o, ok := oldByKey[key]
-		if !ok {
-			fmt.Printf("%-14s %12s %12.2f %8s %14.0f  (new run, no baseline)\n", key, "—", n.RepsPerSec, "—", n.AllocsPerRep)
-			continue
-		}
-		matched++
-		delta := n.RepsPerSec/o.RepsPerSec - 1
-		status := ""
-		if delta < -*tol {
-			status = "  REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-14s %12.2f %12.2f %+7.1f%% %7.0f→%-6.0f%s\n",
-			key, o.RepsPerSec, n.RepsPerSec, delta*100, o.AllocsPerRep, n.AllocsPerRep, status)
-	}
-	if matched == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no runs matched between reports")
-		os.Exit(2)
-	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% on at least one run\n", *tol*100)
-		os.Exit(1)
-	}
-	fmt.Printf("ok: %d run(s) within %.0f%% of baseline\n", matched, *tol*100)
 }

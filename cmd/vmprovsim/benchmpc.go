@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vmprov"
+)
+
+// Model-predictive benchmark mode: -benchmpc FILE runs the built-in MPC
+// web panel (mpc:600 vs adaptive vs the static ladder) over the sweep
+// engine and writes a JSON record scoring every policy on the combined
+// cost + QoS objective the MPC controller optimizes: VM-seconds of
+// committed capacity plus a one-VM-second penalty per QoS violation,
+// rejection, and crash-lost request. The committed BENCH_mpc.json is
+// this report on the 6-hour web panel; benchdiff gates regressions of
+// the mpc row's objective relative to the best baseline.
+
+// mpcViolationPenalty mirrors the controller's default ViolationPenalty:
+// one VM-second of cost per violated, rejected, or lost request.
+const mpcViolationPenalty = 1.0
+
+type mpcPolicyRow struct {
+	Policy        string  `json:"policy"`
+	VMSeconds     float64 `json:"vm_seconds"`
+	Violations    uint64  `json:"violations"`
+	Rejected      uint64  `json:"rejected"`
+	RequestsLost  uint64  `json:"requests_lost"`
+	RejectionRate float64 `json:"rejection_rate"`
+	MeanResponse  float64 `json:"mean_response_s"`
+	AvgInstances  float64 `json:"avg_instances"`
+	Objective     float64 `json:"objective"`
+}
+
+type mpcBenchReport struct {
+	Bench        string         `json:"bench"` // "mpc": benchdiff's format marker
+	GeneratedAt  string         `json:"generated_at"`
+	GoVersion    string         `json:"go_version"`
+	GOOS         string         `json:"goos"`
+	GOARCH       string         `json:"goarch"`
+	Scenario     string         `json:"scenario"`
+	Scale        float64        `json:"scale"`
+	HorizonS     float64        `json:"horizon_s"`
+	Reps         int            `json:"reps"`
+	Seed         uint64         `json:"seed"`
+	WallSeconds  float64        `json:"wall_seconds"`
+	Penalty      float64        `json:"violation_penalty_vm_seconds"`
+	Policies     []mpcPolicyRow `json:"policies"`
+	MPCObjective float64        `json:"mpc_objective"`
+	BestBaseline string         `json:"best_baseline"`
+	BestBaseObj  float64        `json:"best_baseline_objective"`
+	MPCvsBest    float64        `json:"mpc_vs_best_baseline"`
+}
+
+// mpcObjective scores one aggregated result the way the controller
+// scores a lookahead, over the whole run.
+func mpcObjective(r vmprov.Result) float64 {
+	return r.VMHours*3600 +
+		mpcViolationPenalty*float64(r.Violations+r.Rejected+r.RequestsLost)
+}
+
+// runMPCBench executes the MPC comparison panel and writes the JSON
+// report. It returns an error (failing the process) when the MPC policy
+// does not beat at least the weakest baseline on the objective — a
+// controller that loses to every baseline it co-simulates is broken.
+func runMPCBench(outPath string, scale float64, reps int, seed uint64, workers int) error {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	spec, err := vmprov.MPCPanel(scale, reps, seed)
+	if err != nil {
+		return err
+	}
+	panel, err := spec.Compile()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	prs := panel.Run(vmprov.SweepOptions{Workers: workers})
+	wall := time.Since(start).Seconds()
+	rows := prs[0].Results
+
+	rep := mpcBenchReport{
+		Bench:       "mpc",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Scenario:    "web-mpc",
+		Scale:       scale,
+		HorizonS:    6 * 3600,
+		Reps:        reps,
+		Seed:        seed,
+		WallSeconds: wall,
+		Penalty:     mpcViolationPenalty,
+	}
+	worstBaseObj := 0.0
+	for _, r := range rows {
+		obj := mpcObjective(r)
+		rep.Policies = append(rep.Policies, mpcPolicyRow{
+			Policy:        r.Policy,
+			VMSeconds:     r.VMHours * 3600,
+			Violations:    r.Violations,
+			Rejected:      r.Rejected,
+			RequestsLost:  r.RequestsLost,
+			RejectionRate: r.RejectionRate,
+			MeanResponse:  r.MeanResponse,
+			AvgInstances:  r.AvgInstances,
+			Objective:     obj,
+		})
+		if r.Policy == rows[0].Policy && rep.MPCObjective == 0 {
+			// rows[0] is the spec's first policy: mpc:600.
+			rep.MPCObjective = obj
+			continue
+		}
+		if rep.BestBaseline == "" || obj < rep.BestBaseObj {
+			rep.BestBaseline, rep.BestBaseObj = r.Policy, obj
+		}
+		if obj > worstBaseObj {
+			worstBaseObj = obj
+		}
+	}
+	if rep.BestBaseObj > 0 {
+		rep.MPCvsBest = rep.MPCObjective / rep.BestBaseObj
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"mpc bench web scale %g reps %d: %.2fs wall — mpc objective %.0f vs best baseline %s %.0f (%.2f×)\n",
+		scale, reps, wall, rep.MPCObjective, rep.BestBaseline, rep.BestBaseObj, rep.MPCvsBest)
+	if rep.MPCObjective > worstBaseObj {
+		return fmt.Errorf("mpc objective %.0f worse than every baseline (worst %.0f); see %s",
+			rep.MPCObjective, worstBaseObj, outPath)
+	}
+	return nil
+}

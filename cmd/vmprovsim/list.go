@@ -1,0 +1,27 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"vmprov"
+)
+
+// printRegistries writes every registered extension point — what -scenario,
+// -policy, workload "kind" fields, scenario "placement" fields, and -mode
+// accept — so users discover the registries without reading source.
+func printRegistries(w io.Writer) {
+	section := func(title string, names []string) {
+		fmt.Fprintf(w, "%s:\n", title)
+		for _, n := range names {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+		fmt.Fprintln(w)
+	}
+	section("scenarios (-scenario, spec \"scenario\")", vmprov.ScenarioNames())
+	section("policies (-policy, panel \"policies\")", vmprov.PolicyNames())
+	section("workload kinds (spec \"workload.kind\")", vmprov.WorkloadNames())
+	section("placements (spec \"placement\")", vmprov.PlacementNames())
+	fmt.Fprintf(w, "modes (-mode, spec \"mode\"):\n  %s (default)\n  %s\n",
+		vmprov.ModeExact, vmprov.ModeHybrid)
+}

@@ -3,6 +3,7 @@
 //
 // Usage:
 //
+//	vmprovsim -list
 //	vmprovsim -scenario web -scale 0.1 -reps 3 -all
 //	vmprovsim -scenario scientific -reps 10 -all -csv
 //	vmprovsim -scenario scientific -policy adaptive -series
@@ -13,6 +14,7 @@
 //	vmprovsim -dumpspec web-hybrid -reps 3 > hybrid.json
 //	vmprovsim -spec multi.json
 //	vmprovsim -benchff BENCH_ff.json
+//	vmprovsim -benchmpc BENCH_mpc.json
 //	vmprovsim -scenario web-multi -record arrivals.trace
 //	vmprovsim -benchkernel BENCH_kernel.json -benchscales 0.1,1
 //	vmprovsim -scenario web -scale 1 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -39,6 +41,7 @@ import (
 
 func main() {
 	var (
+		list     = flag.Bool("list", false, "print the registered scenarios, policies, workload kinds, placements, and modes, then exit")
 		scenario = flag.String("scenario", "scientific", "registered scenario name (web, scientific, ...)")
 		scale    = flag.Float64("scale", 0, "load scale; 0 picks the scenario default (web 0.1, scientific 1)")
 		reps     = flag.Int("reps", 3, "replications per policy (paper: 10)")
@@ -49,7 +52,7 @@ func main() {
 		policy   = flag.String("policy", "adaptive", "registered policy name (adaptive, static:<m>, ...; single-policy mode)")
 		vms      = flag.Int("vms", 0, "fleet size for -policy static")
 		specFile = flag.String("spec", "", "run a declarative JSON panel spec file (\"-\" = stdin)")
-		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, all, web-fault, web-multi, or web-hybrid")
+		dump     = flag.String("dumpspec", "", "print a built-in panel spec as JSON: web, scientific, all, web-fault, web-multi, web-hybrid, or web-mpc")
 		mode     = flag.String("mode", "", "simulation mode: exact (default) or hybrid analytical fast-forward")
 		record   = flag.String("record", "", "record the scenario's arrival stream as a v2 trace to this file (uses -scenario/-scale/-seed/-horizon)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
@@ -67,6 +70,10 @@ func main() {
 		ffScale = flag.Float64("ffscale", 0.05, "web load scale for -benchff")
 		ffReps  = flag.Int("ffreps", 3, "replications per policy for -benchff")
 
+		benchMPC = flag.String("benchmpc", "", "run the model-predictive panel benchmark (mpc vs adaptive vs static ladder) and write its JSON report to this file")
+		mpcScale = flag.Float64("mpcscale", 0.05, "web load scale for -benchmpc")
+		mpcReps  = flag.Int("mpcreps", 3, "replications per policy for -benchmpc")
+
 		benchSweep = flag.String("benchsweep", "", "run the sweep-engine panel benchmark and write its JSON report to this file")
 		sweepBase  = flag.String("sweepbaseline", "", "prior -benchsweep report to embed as the speedup baseline (default: in-process legacy run)")
 		sweepScale = flag.Float64("sweepscale", 0.1, "web load scale for -benchsweep")
@@ -75,6 +82,11 @@ func main() {
 		sweepTries = flag.Int("sweeptries", 3, "measurement repetitions per -benchsweep configuration (fastest wins)")
 	)
 	flag.Parse()
+
+	if *list {
+		printRegistries(os.Stdout)
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -125,6 +137,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "ff bench → %s\n", *benchFF)
+		return
+	}
+
+	if *benchMPC != "" {
+		if err := runMPCBench(*benchMPC, *mpcScale, *mpcReps, *seed, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mpc bench → %s\n", *benchMPC)
 		return
 	}
 

@@ -11,12 +11,19 @@ import (
 // dumpSpec prints a built-in paper panel spec ("web", "scientific",
 // "all" for one panel holding both scenarios, "web-fault" for the
 // resilience panel with injected crashes and API faults, "web-multi"
-// for the multi-client cohort panel, or "web-hybrid" for the hybrid
-// fast-forward validation panel) as indented JSON. scale 0 picks each
-// scenario's default; reps and seed are embedded verbatim.
+// for the multi-client cohort panel, "web-hybrid" for the hybrid
+// fast-forward validation panel, or "web-mpc" for the model-predictive
+// comparison panel) as indented JSON. scale 0 picks each scenario's
+// default; reps and seed are embedded verbatim.
 func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) error {
 	var spec vmprov.PanelSpec
 	switch name {
+	case "web-mpc":
+		var err error
+		spec, err = vmprov.MPCPanel(scale, reps, seed)
+		if err != nil {
+			return err
+		}
 	case "web-hybrid":
 		var err error
 		spec, err = vmprov.HybridPanel(scale, reps, seed)
@@ -51,7 +58,7 @@ func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) er
 		var err error
 		spec, err = vmprov.PaperPanel(name, scale, reps, seed)
 		if err != nil {
-			return fmt.Errorf("%w (or \"all\", \"web-fault\", \"web-multi\", \"web-hybrid\")", err)
+			return fmt.Errorf("%w (or \"all\", \"web-fault\", \"web-multi\", \"web-hybrid\", \"web-mpc\")", err)
 		}
 	}
 	data, err := spec.MarshalJSONIndent()

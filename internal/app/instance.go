@@ -310,6 +310,68 @@ func (in *Instance) complete() {
 	in.onComplete(done)
 }
 
+// InstSnap holds one captured Instance state. Snapshots restore in place
+// on the same *Instance: pending heap events and interned fire callbacks
+// reference instances by pointer, so identity must survive a restore.
+type InstSnap struct {
+	state       State
+	queue       []workload.Request
+	queueNil    bool // distinguishes a crashed (nil) queue from an empty one
+	busy        bool
+	cur         workload.Request
+	curAt       float64
+	createdAt   float64
+	activatedAt float64
+	destroyedAt float64
+	busyTime    float64
+	served      uint64
+	crashEv     sim.Event
+	epoch       uint32
+}
+
+// Snapshot captures the instance's mutable state into snap, reusing
+// snap's queue buffer. Cost is O(queued requests).
+func (in *Instance) Snapshot(snap *InstSnap) {
+	snap.state = in.state
+	snap.queue = append(snap.queue[:0], in.queue...)
+	snap.queueNil = in.queue == nil
+	snap.busy = in.busy
+	snap.cur = in.cur
+	snap.curAt = in.curAt
+	snap.createdAt = in.CreatedAt
+	snap.activatedAt = in.ActivatedAt
+	snap.destroyedAt = in.DestroyedAt
+	snap.busyTime = in.BusyTime
+	snap.served = in.Served
+	snap.crashEv = in.CrashEv
+	snap.epoch = in.epoch
+}
+
+// Restore rewinds the instance to a captured state. The queue's backing
+// array is reused when large enough; a queue that was handed off by Crash
+// since the snapshot is rebuilt.
+func (in *Instance) Restore(snap *InstSnap) {
+	in.state = snap.state
+	if snap.queueNil {
+		in.queue = nil
+	} else {
+		if in.queue == nil && len(snap.queue) == 0 {
+			in.queue = make([]workload.Request, 0, 4)
+		}
+		in.queue = append(in.queue[:0], snap.queue...)
+	}
+	in.busy = snap.busy
+	in.cur = snap.cur
+	in.curAt = snap.curAt
+	in.CreatedAt = snap.createdAt
+	in.ActivatedAt = snap.activatedAt
+	in.DestroyedAt = snap.destroyedAt
+	in.BusyTime = snap.busyTime
+	in.Served = snap.served
+	in.CrashEv = snap.crashEv
+	in.epoch = snap.epoch
+}
+
 // BusyNow returns the busy time accumulated through time now, including
 // the in-progress portion of the current request. Used when a run ends
 // while instances are still serving.

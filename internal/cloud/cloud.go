@@ -151,6 +151,55 @@ func (dc *Datacenter) Reset() {
 	}
 }
 
+// DCSnap holds one captured Datacenter state (see Datacenter.Snapshot).
+// The zero value is ready to use; its buffers are reused across captures.
+type DCSnap struct {
+	hosts    []host
+	nextID   int
+	rrCursor int
+	placed   map[int]VM
+	power    powerMeter
+	hasPower bool
+}
+
+// Snapshot captures the data center's complete state — per-host usage,
+// the placed-VM map, the ID counter, the placement cursor, and the power
+// meter's integration state — into snap, reusing snap's buffers. Cost is
+// O(hosts + live VMs).
+func (dc *Datacenter) Snapshot(snap *DCSnap) {
+	snap.hosts = append(snap.hosts[:0], dc.hosts...)
+	snap.nextID = dc.nextID
+	snap.rrCursor = dc.rrCursor
+	if snap.placed == nil {
+		snap.placed = make(map[int]VM, len(dc.placed))
+	} else {
+		clear(snap.placed)
+	}
+	for id, vm := range dc.placed {
+		snap.placed[id] = vm
+	}
+	snap.hasPower = dc.power != nil
+	if dc.power != nil {
+		snap.power = *dc.power
+	}
+}
+
+// Restore rewinds the data center to a state captured from it by
+// Snapshot: VMs provisioned since the snapshot vanish, released ones are
+// placed again, and energy accounting resumes from the captured integral.
+func (dc *Datacenter) Restore(snap *DCSnap) {
+	copy(dc.hosts, snap.hosts)
+	dc.nextID = snap.nextID
+	dc.rrCursor = snap.rrCursor
+	clear(dc.placed)
+	for id, vm := range snap.placed {
+		dc.placed[id] = vm
+	}
+	if snap.hasPower && dc.power != nil {
+		*dc.power = snap.power
+	}
+}
+
 // Provision places a VM on the host with the fewest running VMs that can
 // fit it (ties broken by lowest host index) and returns its handle. now
 // is the current virtual time, used for energy accounting.

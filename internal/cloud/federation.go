@@ -36,6 +36,47 @@ func (f *Federation) Reset() {
 	}
 }
 
+// FedSnap holds one captured Federation state, member data centers
+// included. The zero value is ready to use; buffers are reused.
+type FedSnap struct {
+	nextID  int
+	placed  map[int]fedVM
+	members []DCSnap
+}
+
+// Snapshot captures the federation's routing state and every member data
+// center into snap, reusing snap's buffers.
+func (f *Federation) Snapshot(snap *FedSnap) {
+	snap.nextID = f.nextID
+	if snap.placed == nil {
+		snap.placed = make(map[int]fedVM, len(f.placed))
+	} else {
+		clear(snap.placed)
+	}
+	for id, fv := range f.placed {
+		snap.placed[id] = fv
+	}
+	if len(snap.members) < len(f.members) {
+		snap.members = append(snap.members, make([]DCSnap, len(f.members)-len(snap.members))...)
+	}
+	for i, dc := range f.members {
+		dc.Snapshot(&snap.members[i])
+	}
+}
+
+// Restore rewinds the federation and every member to a state captured
+// from it by Snapshot.
+func (f *Federation) Restore(snap *FedSnap) {
+	f.nextID = snap.nextID
+	clear(f.placed)
+	for id, fv := range snap.placed {
+		f.placed[id] = fv
+	}
+	for i, dc := range f.members {
+		dc.Restore(&snap.members[i])
+	}
+}
+
 // Members returns the number of member clouds.
 func (f *Federation) Members() int { return len(f.members) }
 

@@ -1,0 +1,57 @@
+package experiment
+
+import "vmprov/internal/metrics"
+
+// Checkpoint is a warmed-up replication frozen mid-run: the run was
+// assembled and advanced to the checkpoint instant once, and any number
+// of variant futures can then be forked from it without re-simulating
+// the warmup. The classic use is incremental sweeps — compare fleet
+// adjustments, or just different random futures, from one shared
+// steady-state prefix instead of paying the warmup per variant.
+//
+// Every fork shares the warmup trajectory, including the decisions the
+// base policy made before the checkpoint; a fork varies only the future.
+// Forked results are therefore correlated through the common prefix —
+// ideal for paired comparisons, wrong for independent replications.
+type Checkpoint struct {
+	w  *World
+	at float64
+}
+
+// Checkpoint assembles a replication exactly as Run would, advances it
+// to virtual time at, and freezes it. The context must not run anything
+// else until Close.
+func (rc *RunContext) Checkpoint(sc Scenario, pol Policy, seed uint64, at float64, opts RunOptions) *Checkpoint {
+	w := rc.Setup(sc, pol, seed, opts)
+	w.RunUntil(at)
+	w.Snapshot()
+	return &Checkpoint{w: w, at: at}
+}
+
+// World exposes the frozen world, e.g. to inspect the provisioner state
+// at the checkpoint instant.
+func (c *Checkpoint) World() *World { return c.w }
+
+// At reports the checkpoint's virtual time.
+func (c *Checkpoint) At() float64 { return c.at }
+
+// Fork rewinds to the checkpoint, applies adjust (nil = no change — the
+// fork then reproduces the uninterrupted run bit for bit), runs to the
+// scenario horizon, and returns the variant's result. The returned
+// series aliases the context's reusable buffer; copy it before the next
+// fork. Fork may be called any number of times; each call rewinds the
+// previous fork's future, including its shutdown.
+func (c *Checkpoint) Fork(adjust func(*World)) (metrics.Result, []metrics.SeriesPoint) {
+	c.w.Restore()
+	if adjust != nil {
+		adjust(c.w)
+	}
+	c.w.RunUntil(c.w.sc.Horizon)
+	return c.w.Finish()
+}
+
+// Close releases the checkpoint's snapshot back to the context's pool.
+// The world is dead after Close; the context is reusable.
+func (c *Checkpoint) Close() {
+	c.w.Release()
+}

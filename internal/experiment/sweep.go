@@ -6,14 +6,9 @@ import (
 	"sync/atomic"
 
 	"vmprov/internal/cloud"
-	"vmprov/internal/fault"
-	"vmprov/internal/fluid"
 	"vmprov/internal/metrics"
-	"vmprov/internal/provision"
 	"vmprov/internal/sim"
-	"vmprov/internal/stats"
 	"vmprov/internal/trace"
-	"vmprov/internal/workload"
 )
 
 // Job is one cell of an experiment panel: a seeded replication of one
@@ -37,6 +32,11 @@ type RunContext struct {
 	s   *sim.Sim
 	dc  *cloud.Datacenter
 	col *metrics.Collector
+
+	// snapPool recycles world snapshots across replications, so a
+	// model-predictive run's per-cycle snapshot costs no allocation once
+	// the pool is warm.
+	snapPool []*worldSnap
 }
 
 // NewRunContext creates an empty context. The first Run warms it up;
@@ -60,70 +60,9 @@ func NewRunContext() *RunContext {
 // The returned series slice aliases the context's reusable buffer; copy
 // it before the context runs again if it must outlive this replication.
 func (rc *RunContext) Run(sc Scenario, pol Policy, seed uint64, opts RunOptions) (metrics.Result, []metrics.SeriesPoint) {
-	if err := sc.Validate(); err != nil {
-		panic(err)
-	}
-	s, dc, col := rc.s, rc.dc, rc.col
-	s.Reset()
-	dc.Reset()
-	dc.SetPlacement(sc.Placement)
-	col.Reset(sc.Cfg.QoS.Ts)
-	col.DeclareClients(sc.Clients)
-	col.TrackSeries = opts.TrackSeries
-	rng := stats.NewRNG(seed)
-	var provider cloud.Provider = dc
-	var fm provision.FaultModel
-	if !sc.Fault.IsZero() {
-		// Faults draw from their own substream — a pure function of
-		// (seed, "fault") — so enabling them leaves the workload stream,
-		// and therefore the arrival process, untouched.
-		inj := fault.New(dc, sc.Fault, rng.Split("fault"))
-		provider, fm = inj, inj
-	}
-	p := provision.NewProvisioner(s, provider, sc.Cfg, col)
-	if fm != nil {
-		p.SetFaultModel(fm)
-	}
-
-	if opts.Tracer != nil {
-		p.SetTracer(opts.Tracer)
-	}
-	src := sc.NewSource()
-	ctrl, analyzer := pol.Build(sc, src)
-	if ad, ok := ctrl.(*provision.Adaptive); ok && opts.Tracer != nil {
-		ad.Tracer = opts.Tracer
-	}
-	ctrl.Attach(s, p)
-
-	emit := p.Submit
-	_, observing := analyzer.(workload.ObservingAnalyzer)
-	if observing {
-		obs := analyzer.(workload.ObservingAnalyzer)
-		emit = func(q workload.Request) {
-			obs.Observe(q.Arrival)
-			p.Submit(q)
-		}
-	}
-	// Hybrid fast-forward replaces the source's event schedule with the
-	// fluid engine's probe/fluid tick loop when the run qualifies: the
-	// source must be tick-structured, and nothing may need to see every
-	// individual request (an observing analyzer learns from the arrival
-	// stream, a tracer records request lifecycles — both fall back to
-	// exact simulation).
-	if fsrc, ok := src.(workload.FluidSource); ok &&
-		sc.Mode == ModeHybrid && !observing && opts.Tracer == nil {
-		eng := fluid.New(fluid.Config{}, p, col, sc.Cfg.QoS.Ts)
-		eng.Start(s, fsrc, rng, emit)
-	} else {
-		src.Start(s, rng, emit)
-	}
-
-	s.RunUntil(sc.Horizon)
-	p.Shutdown(sc.Horizon)
-	res := col.Result(pol.Name, sc.Horizon)
-	res.EnergyKWh = dc.EnergyKWh(sc.Horizon)
-	res.Events = s.Processed()
-	return res, col.Series
+	w := rc.Setup(sc, pol, seed, opts)
+	w.RunUntil(sc.Horizon)
+	return w.Finish()
 }
 
 // SweepOptions tune a panel sweep.

@@ -172,6 +172,26 @@ func (inj *Injector) Boot(base float64) (delay float64, fail bool) {
 	return delay, fail
 }
 
+// InjSnap holds one captured Injector state. The injector's RNG is a
+// substream of the replication's root stream, so it is captured by the
+// root stream-tree snapshot, not here.
+type InjSnap struct {
+	provisionErrs uint64
+	releaseErrs   uint64
+}
+
+// Snapshot captures the injector's error counters into snap.
+func (inj *Injector) Snapshot(snap *InjSnap) {
+	snap.provisionErrs = inj.injectedProvisionErrs
+	snap.releaseErrs = inj.injectedReleaseErrs
+}
+
+// Restore rewinds the injector's error counters to a captured state.
+func (inj *Injector) Restore(snap *InjSnap) {
+	inj.injectedProvisionErrs = snap.provisionErrs
+	inj.injectedReleaseErrs = snap.releaseErrs
+}
+
 // InjectedErrors reports how many transient Provision and Release errors
 // the injector has produced, for tests and diagnostics.
 func (inj *Injector) InjectedErrors() (provision, release uint64) {

@@ -28,6 +28,29 @@ type Forecaster interface {
 // ErrSeries reports an unusable series.
 var ErrSeries = errors.New("forecast: series too short")
 
+// Rewindable is implemented by forecasters whose fitted state can be
+// captured and rewound in place — the seam the simulation snapshot
+// protocol reaches them through. Snapshot fills and returns store (the
+// value returned by the previous call, or nil first time) so repeated
+// captures reuse one buffer; Restore rewinds from a captured store.
+// Every forecaster in this package implements it.
+type Rewindable interface {
+	Snapshot(store any) any
+	Restore(store any)
+}
+
+// histSnap is the shared store of the history-window forecasters.
+type histSnap struct{ hist []float64 }
+
+func snapshotHist(store any, hist []float64) any {
+	sn, _ := store.(*histSnap)
+	if sn == nil {
+		sn = new(histSnap)
+	}
+	sn.hist = append(sn.hist[:0], hist...)
+	return sn
+}
+
 // Naive predicts the last observed value.
 type Naive struct{ last float64 }
 
@@ -39,6 +62,22 @@ func (n *Naive) Predict() float64 { return n.last }
 
 // Name implements Forecaster.
 func (n *Naive) Name() string { return "naive" }
+
+// naiveSnap holds one captured Naive state.
+type naiveSnap struct{ last float64 }
+
+// Snapshot implements Rewindable.
+func (n *Naive) Snapshot(store any) any {
+	sn, _ := store.(*naiveSnap)
+	if sn == nil {
+		sn = new(naiveSnap)
+	}
+	sn.last = n.last
+	return sn
+}
+
+// Restore implements Rewindable.
+func (n *Naive) Restore(store any) { n.last = store.(*naiveSnap).last }
 
 // MovingAverage predicts the mean of the last Window observations.
 type MovingAverage struct {
@@ -67,6 +106,37 @@ func (m *MovingAverage) Predict() float64 {
 
 // Name implements Forecaster.
 func (m *MovingAverage) Name() string { return "moving-average" }
+
+// maSnap holds one captured MovingAverage state.
+type maSnap struct {
+	started bool
+	w       stats.WindowSnap
+}
+
+// Snapshot implements Rewindable.
+func (m *MovingAverage) Snapshot(store any) any {
+	sn, _ := store.(*maSnap)
+	if sn == nil {
+		sn = new(maSnap)
+	}
+	sn.started = m.w != nil
+	if m.w != nil {
+		m.w.Snapshot(&sn.w)
+	}
+	return sn
+}
+
+// Restore implements Rewindable. A window allocated after the capture
+// stays allocated but is rewound to empty only when it existed at
+// capture time; otherwise the forecaster returns to its unstarted state.
+func (m *MovingAverage) Restore(store any) {
+	sn := store.(*maSnap)
+	if !sn.started {
+		m.w = nil
+		return
+	}
+	m.w.Restore(&sn.w)
+}
 
 // Holt is double exponential smoothing: a level and a trend component,
 // able to anticipate ramps (unlike the window analyzers, which always lag
@@ -107,6 +177,28 @@ func (h *Holt) Predict() float64 { return h.level + h.trend }
 // Name implements Forecaster.
 func (h *Holt) Name() string { return "holt" }
 
+// holtSnap holds one captured Holt state.
+type holtSnap struct {
+	level, trend float64
+	steps        int
+}
+
+// Snapshot implements Rewindable.
+func (h *Holt) Snapshot(store any) any {
+	sn, _ := store.(*holtSnap)
+	if sn == nil {
+		sn = new(holtSnap)
+	}
+	sn.level, sn.trend, sn.steps = h.level, h.trend, h.steps
+	return sn
+}
+
+// Restore implements Rewindable.
+func (h *Holt) Restore(store any) {
+	sn := store.(*holtSnap)
+	h.level, h.trend, h.steps = sn.level, sn.trend, sn.steps
+}
+
 // SeasonalNaive predicts the value observed one season (Period steps)
 // ago — the right baseline for the paper's strongly diurnal workloads.
 type SeasonalNaive struct {
@@ -141,6 +233,14 @@ func (s *SeasonalNaive) Predict() float64 {
 
 // Name implements Forecaster.
 func (s *SeasonalNaive) Name() string { return "seasonal-naive" }
+
+// Snapshot implements Rewindable.
+func (s *SeasonalNaive) Snapshot(store any) any { return snapshotHist(store, s.hist) }
+
+// Restore implements Rewindable.
+func (s *SeasonalNaive) Restore(store any) {
+	s.hist = append(s.hist[:0], store.(*histSnap).hist...)
+}
 
 // AR is an autoregressive one-step forecaster fit by ordinary least
 // squares over a sliding window (the stdlib-only stand-in for ARMAX).
@@ -212,3 +312,11 @@ func (a *AR) Predict() float64 {
 
 // Name implements Forecaster.
 func (a *AR) Name() string { return "ar" }
+
+// Snapshot implements Rewindable.
+func (a *AR) Snapshot(store any) any { return snapshotHist(store, a.hist) }
+
+// Restore implements Rewindable.
+func (a *AR) Restore(store any) {
+	a.hist = append(a.hist[:0], store.(*histSnap).hist...)
+}

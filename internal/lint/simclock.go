@@ -34,7 +34,7 @@ var SimClockAnalyzer = &Analyzer{
 	Doc: "forbid wall-clock time (time.Now/Since/Sleep, Timer/Ticker construction) in simulation packages; " +
 		"simulated time must come from the kernel clock",
 	AppliesTo: pathGate("sim", "app", "provision", "workload", "fault",
-		"experiment", "metrics", "queueing", "forecast", "fluid"),
+		"experiment", "metrics", "queueing", "forecast", "fluid", "mpc"),
 	SkipTestFiles: true,
 	Run:           runSimClock,
 }

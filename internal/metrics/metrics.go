@@ -159,6 +159,136 @@ func (c *Collector) Reset(ts float64) {
 	c.Series = c.Series[:0]
 }
 
+// CollectorSnap holds one captured Collector state (see Snapshot). The
+// zero value is ready to use; buffers and maps are reused across
+// captures, so a pooled snapshot costs O(live state).
+type CollectorSnap struct {
+	ts          float64
+	responses   stats.Welford
+	respHist    stats.HistSnap
+	execSum     float64
+	waitSum     float64
+	accepted    uint64
+	rejected    uint64
+	violated    uint64
+	missed      uint64
+	class0      classStats
+	classes     map[int]classStats
+	clients     map[string]clientStats
+	instances   stats.TimeWeighted
+	everScaled  bool
+	vmSeconds   float64
+	busySeconds float64
+	crashes     uint64
+	retries     uint64
+	lost        uint64
+	requeued    uint64
+	shortfalls  uint64
+	repairs     uint64
+	repairSum   float64
+	deficit     stats.TimeWeighted
+	deficitSeen bool
+	trackSeries bool
+	seriesLen   int
+}
+
+// Snapshot captures the collector's complete accumulated state into
+// snap, reusing snap's buffers. The series is captured as a length — it
+// is append-only, so a restore truncates instead of copying history.
+func (c *Collector) Snapshot(snap *CollectorSnap) {
+	snap.ts = c.ts
+	snap.responses = c.responses
+	c.respHist.Snapshot(&snap.respHist)
+	snap.execSum, snap.waitSum = c.execSum, c.waitSum
+	snap.accepted, snap.rejected, snap.violated, snap.missed = c.accepted, c.rejected, c.violated, c.missed
+	snap.class0 = c.class0
+	if snap.classes == nil {
+		snap.classes = make(map[int]classStats)
+	} else {
+		clear(snap.classes)
+	}
+	for k, cs := range c.classes {
+		snap.classes[k] = *cs
+	}
+	if snap.clients == nil {
+		snap.clients = make(map[string]clientStats)
+	} else {
+		clear(snap.clients)
+	}
+	for k, cs := range c.clients {
+		snap.clients[k] = *cs
+	}
+	snap.instances = c.instances
+	snap.everScaled = c.everScaled
+	snap.vmSeconds, snap.busySeconds = c.vmSeconds, c.busySeconds
+	snap.crashes, snap.retries, snap.lost, snap.requeued, snap.shortfalls = c.crashes, c.retries, c.lost, c.requeued, c.shortfalls
+	snap.repairs, snap.repairSum = c.repairs, c.repairSum
+	snap.deficit = c.deficit
+	snap.deficitSeen = c.deficitSeen
+	snap.trackSeries = c.TrackSeries
+	snap.seriesLen = len(c.Series)
+}
+
+// Restore rewinds the collector to a captured state. Existing per-class
+// and per-client accumulators are restored in place where possible so
+// the common restore path does not allocate.
+func (c *Collector) Restore(snap *CollectorSnap) {
+	c.ts = snap.ts
+	c.responses = snap.responses
+	c.respHist.Restore(&snap.respHist)
+	c.execSum, c.waitSum = snap.execSum, snap.waitSum
+	c.accepted, c.rejected, c.violated, c.missed = snap.accepted, snap.rejected, snap.violated, snap.missed
+	c.class0 = snap.class0
+	//vmprov:allow maporder -- per-key delete of absent keys; no cross-key state
+	for k := range c.classes {
+		if _, ok := snap.classes[k]; !ok {
+			delete(c.classes, k)
+		}
+	}
+	//vmprov:allow maporder -- per-key overwrite into a map; no cross-key state
+	for k, v := range snap.classes {
+		cs := c.classes[k]
+		if cs == nil {
+			cs = &classStats{}
+			c.classes[k] = cs
+		}
+		*cs = v
+	}
+	//vmprov:allow maporder -- per-key delete of absent keys; no cross-key state
+	for k := range c.clients {
+		if _, ok := snap.clients[k]; !ok {
+			delete(c.clients, k)
+		}
+	}
+	//vmprov:allow maporder -- per-key overwrite into a map; no cross-key state
+	for k, v := range snap.clients {
+		cs := c.clients[k]
+		if cs == nil {
+			cs = &clientStats{}
+			c.clients[k] = cs
+		}
+		*cs = v
+	}
+	c.instances = snap.instances
+	c.everScaled = snap.everScaled
+	c.vmSeconds, c.busySeconds = snap.vmSeconds, snap.busySeconds
+	c.crashes, c.retries, c.lost, c.requeued, c.shortfalls = snap.crashes, snap.retries, snap.lost, snap.requeued, snap.shortfalls
+	c.repairs, c.repairSum = snap.repairs, snap.repairSum
+	c.deficit = snap.deficit
+	c.deficitSeen = snap.deficitSeen
+	c.TrackSeries = snap.trackSeries
+	c.Series = c.Series[:snap.seriesLen]
+}
+
+// ObjectiveState reports the cumulative quantities a model-predictive
+// scorer differences across a co-simulated lookahead: QoS violations,
+// rejections, crash-lost requests, and the integral of the
+// running-instance count (VM-seconds of committed capacity) through
+// time t.
+func (c *Collector) ObjectiveState(t float64) (violated, rejected, lost uint64, vmSeconds float64) {
+	return c.violated, c.rejected, c.lost, c.instances.Integral(t)
+}
+
 // Complete records one served request.
 func (c *Collector) Complete(req workload.Request, start, finish float64) {
 	c.accepted++

@@ -1,0 +1,99 @@
+package mpc
+
+import (
+	"testing"
+	"vmprov/internal/provision"
+	"vmprov/internal/sim"
+)
+
+// newAttached returns a controller attached to a minimal sim/provisioner
+// pair (MaxVMs 20), with defaults resolved.
+func newAttached(t *testing.T, horizon float64, cands int) *Controller {
+	t.Helper()
+	s := sim.New()
+	p := provision.NewProvisioner(s, nil, provision.Config{
+		QoS:       provision.QoS{Ts: 0.25, RejectionTol: 0.001, MinUtilization: 0.8},
+		NominalTr: 0.1,
+		MaxVMs:    20,
+		BootDelay: 30,
+	}, nil)
+	c := &Controller{Horizon: horizon, Candidates: cands}
+	c.Attach(s, p)
+	return c
+}
+
+func TestCandidateSet(t *testing.T) {
+	cases := []struct {
+		base, n int
+		want    []int
+	}{
+		// Near offsets fill first (0, ±1, ±2), ascending.
+		{8, 5, []int{6, 7, 8, 9, 10}},
+		// Clipping at the floor dedups, so the geometric tail reaches
+		// farther up: base 1 cannot shrink.
+		{1, 5, []int{1, 2, 3, 5, 9}},
+		// Clipping at MaxVMs (20) dedups the upper offsets the same way.
+		{19, 5, []int{15, 17, 18, 19, 20}},
+		// A tiny budget still includes the base and a neighbor.
+		{8, 2, []int{8, 9}},
+	}
+	for _, c := range cases {
+		ctrl := newAttached(t, 600, c.n)
+		ctrl.candidates(c.base)
+		if len(ctrl.cands) != len(c.want) {
+			t.Fatalf("base %d n %d: got %v, want %v", c.base, c.n, ctrl.cands, c.want)
+		}
+		for i := range c.want {
+			if ctrl.cands[i] != c.want[i] {
+				t.Fatalf("base %d n %d: got %v, want %v", c.base, c.n, ctrl.cands, c.want)
+			}
+		}
+	}
+}
+
+func TestDefaultsAndName(t *testing.T) {
+	c := newAttached(t, 600, 0)
+	if c.Cycle != 300 {
+		t.Fatalf("default cycle %v, want horizon/2", c.Cycle)
+	}
+	if c.Candidates != 5 {
+		t.Fatalf("default candidates %d, want 5", c.Candidates)
+	}
+	if c.BootPenalty != 30 {
+		t.Fatalf("default boot penalty %v, want the provisioner's boot delay", c.BootPenalty)
+	}
+	if c.CostPerVMSecond != 1 || c.ViolationPenalty != 1 {
+		t.Fatalf("default weights %v/%v, want 1/1", c.CostPerVMSecond, c.ViolationPenalty)
+	}
+	if got := c.Name(); got != "MPC-600" {
+		t.Fatalf("name %q, want MPC-600", got)
+	}
+}
+
+func TestAttachRejectsZeroHorizon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attach accepted a zero horizon")
+		}
+	}()
+	newAttached(t, 0, 0)
+}
+
+// TestUnboundWorldPanics: running a cycle without a bound world must
+// fail loudly — the policy only works through the experiment layer.
+func TestUnboundWorldPanics(t *testing.T) {
+	s := sim.New()
+	p := provision.NewProvisioner(s, nil, provision.Config{
+		QoS:       provision.QoS{Ts: 0.25, RejectionTol: 0.001, MinUtilization: 0.8},
+		NominalTr: 0.1,
+		MaxVMs:    20,
+	}, nil)
+	c := &Controller{Horizon: 600}
+	c.Attach(s, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cycle ran without a bound world")
+		}
+	}()
+	s.RunUntil(1)
+}

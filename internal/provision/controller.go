@@ -69,6 +69,26 @@ func (a *Adaptive) Attach(s *sim.Sim, p *Provisioner) {
 	}
 }
 
+// adaptiveSnap holds one captured Adaptive controller state.
+type adaptiveSnap struct{ lastLambda float64 }
+
+// Snapshot implements the workload.Rewindable shape: the controller's
+// only cross-event state is the most recent rate estimate; its analyzer
+// is captured separately when it is itself rewindable.
+func (a *Adaptive) Snapshot(store any) any {
+	sn, _ := store.(*adaptiveSnap)
+	if sn == nil {
+		sn = new(adaptiveSnap)
+	}
+	sn.lastLambda = a.lastLambda
+	return sn
+}
+
+// Restore rewinds the controller to a captured state.
+func (a *Adaptive) Restore(store any) {
+	a.lastLambda = store.(*adaptiveSnap).lastLambda
+}
+
 // Scheduled is a time-table policy — the industry's "scheduled scaling"
 // middle ground between the paper's static and adaptive baselines: fleet
 // sizes change at pre-planned instants, with no feedback. Sizing a
@@ -129,8 +149,11 @@ func applySizeChange(a any) {
 	c.p.SetTarget(c.m)
 }
 
-// scheduledCycle re-applies a repeating plan; the one struct is reused
-// across cycles, advancing its base time each firing.
+// scheduledCycle re-applies a repeating plan. Each cycle carries a fresh
+// immutable payload (one small allocation per Repeat period) so a kernel
+// snapshot restored mid-plan replays the same cycle base times; a reused
+// self-advancing struct would leak post-snapshot state into the restored
+// event.
 type scheduledCycle struct {
 	sc    *Scheduled
 	s     *sim.Sim
@@ -141,8 +164,8 @@ type scheduledCycle struct {
 func fireScheduledCycle(a any) {
 	cy := a.(*scheduledCycle)
 	cy.sc.apply(cy.s, cy.p, cy.cycle)
-	cy.cycle += cy.sc.Repeat
-	cy.s.AtFunc(cy.cycle, fireScheduledCycle, cy)
+	next := cy.cycle + cy.sc.Repeat
+	cy.s.AtFunc(next, fireScheduledCycle, &scheduledCycle{sc: cy.sc, s: cy.s, p: cy.p, cycle: next})
 }
 
 // Static is the baseline policy of Section V: a fixed number of instances

@@ -468,8 +468,11 @@ type releaseRetry struct {
 }
 
 // retryRelease re-attempts a failed Release; on another transient error
-// it reschedules itself with doubled (capped) backoff. Release retries
-// are never bounded by MaxAttempts: the VM must come back eventually, and
+// it reschedules with doubled (capped) backoff. Each attempt carries a
+// fresh immutable payload so a kernel snapshot restored mid-chain replays
+// the same backoff schedule (a reused, self-mutating payload would carry
+// post-snapshot state back into the restored event). Release retries are
+// never bounded by MaxAttempts: the VM must come back eventually, and
 // holding it leaked would silently shrink the data center.
 func retryRelease(a any) {
 	rr := a.(*releaseRetry)
@@ -482,8 +485,8 @@ func retryRelease(a any) {
 	if !errors.Is(err, cloud.ErrTransient) {
 		panic(err)
 	}
-	rr.backoff = min(rr.backoff*p.retry.Multiplier, p.retry.MaxBackoff)
-	p.sim.ScheduleFunc(rr.backoff, retryRelease, rr)
+	backoff := min(rr.backoff*p.retry.Multiplier, p.retry.MaxBackoff)
+	p.sim.ScheduleFunc(backoff, retryRelease, &releaseRetry{p: p, id: rr.id, backoff: backoff})
 }
 
 // SetTarget grows or shrinks the committed pool to m instances,
@@ -837,4 +840,81 @@ func (p *Provisioner) Shutdown(end float64) {
 	for _, in := range p.instances {
 		p.col.InstanceRetired(in.Lifetime(end), in.BusyNow(end))
 	}
+}
+
+// PSnap holds one captured Provisioner state: the fleet roster (instance
+// identities plus each instance's rewound state), the dispatch and
+// scaling cursors, and the self-healing bookkeeping. The scratch buffers
+// are excluded — they carry no state across events — and the monitor
+// window and repair episodes reuse the snap's buffers, so a capture costs
+// O(live fleet), not O(history).
+type PSnap struct {
+	monitor   stats.WindowSnap
+	instances []*app.Instance
+	instSnaps []app.InstSnap
+
+	rr     int
+	target int
+
+	numBooting  int
+	numActive   int
+	numDraining int
+	activeFree  int
+
+	shortfalls int
+
+	retryEv      sim.Event
+	retryBackoff float64
+	retryFails   int
+	repairT      []float64
+}
+
+// Snapshot captures the provisioner into snap, reusing its buffers.
+func (p *Provisioner) Snapshot(snap *PSnap) {
+	p.monitor.Snapshot(&snap.monitor)
+	snap.instances = append(snap.instances[:0], p.instances...)
+	if cap(snap.instSnaps) < len(p.instances) {
+		grown := make([]app.InstSnap, len(p.instances))
+		copy(grown, snap.instSnaps[:cap(snap.instSnaps)])
+		snap.instSnaps = grown
+	}
+	snap.instSnaps = snap.instSnaps[:len(p.instances)]
+	for i, in := range p.instances {
+		in.Snapshot(&snap.instSnaps[i])
+	}
+	snap.rr = p.rr
+	snap.target = p.target
+	snap.numBooting = p.numBooting
+	snap.numActive = p.numActive
+	snap.numDraining = p.numDraining
+	snap.activeFree = p.activeFree
+	snap.shortfalls = p.CapacityShortfalls
+	snap.retryEv = p.retryEv
+	snap.retryBackoff = p.retryBackoff
+	snap.retryFails = p.retryFails
+	snap.repairT = append(snap.repairT[:0], p.repairT...)
+}
+
+// Restore rewinds the provisioner to a captured state. Instances live at
+// the capture are rewound in place — the kernel snapshot restores their
+// pending boot, crash, and completion events against the same pointers —
+// and instances created afterwards fall out of the roster, their events
+// already gone with the kernel restore.
+func (p *Provisioner) Restore(snap *PSnap) {
+	p.monitor.Restore(&snap.monitor)
+	p.instances = append(p.instances[:0], snap.instances...)
+	for i, in := range p.instances {
+		in.Restore(&snap.instSnaps[i])
+	}
+	p.rr = snap.rr
+	p.target = snap.target
+	p.numBooting = snap.numBooting
+	p.numActive = snap.numActive
+	p.numDraining = snap.numDraining
+	p.activeFree = snap.activeFree
+	p.CapacityShortfalls = snap.shortfalls
+	p.retryEv = snap.retryEv
+	p.retryBackoff = snap.retryBackoff
+	p.retryFails = snap.retryFails
+	p.repairT = append(p.repairT[:0], snap.repairT...)
 }

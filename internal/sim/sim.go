@@ -176,6 +176,84 @@ func (s *Sim) Reset() {
 	s.slotSet = false
 }
 
+// Snapshot captures the simulator's complete state — clock, sequence and
+// processed counters, arena (including generation counters and the free
+// list threaded through it), pending heap, fire registry, and the
+// deferred slot — into snap, reusing snap's buffers. The cost is O(arena
+// size), which is bounded by the peak number of concurrently pending
+// events, not by how many events have ever fired. Snapshot schedules
+// nothing and never mutates s, so taking one mid-run is invisible to the
+// event order.
+func (s *Sim) Snapshot(snap *Snapshot) {
+	snap.now = s.now
+	snap.seq = s.seq
+	snap.processed = s.processed
+	snap.free = s.free
+	snap.stopped = s.stopped
+	snap.slotT = s.slotT
+	snap.slotSeq = s.slotSeq
+	snap.slotFire = s.slotFire
+	snap.slotSet = s.slotSet
+	clear(snap.nodes) // drop closure/arg refs pinned by a previous use
+	snap.nodes = append(snap.nodes[:0], s.nodes...)
+	snap.heap = append(snap.heap[:0], s.heap...)
+	clear(snap.fires)
+	snap.fires = append(snap.fires[:0], s.fires...)
+}
+
+// Restore rewinds the simulator to a state previously captured from this
+// same Sim by Snapshot. Events scheduled after the snapshot vanish;
+// events that were pending at the snapshot are pending again, and their
+// pre-snapshot Event handles are valid again (the arena's generation
+// counters are part of the state). Arena slots grown or recycled after
+// the snapshot are invalidated and returned to the free list rather than
+// truncated, so a stale handle held by a discarded future — e.g. a
+// ticker's last reschedule during a co-simulated lookahead — indexes a
+// live slot and cancels as a harmless no-op.
+func (s *Sim) Restore(snap *Snapshot) {
+	s.now = snap.now
+	s.seq = snap.seq
+	s.processed = snap.processed
+	s.stopped = snap.stopped
+	s.slotT = snap.slotT
+	s.slotSeq = snap.slotSeq
+	s.slotFire = snap.slotFire
+	s.slotSet = snap.slotSet
+	n := copy(s.nodes, snap.nodes)
+	free := snap.free
+	for i := len(s.nodes) - 1; i >= n; i-- {
+		nd := &s.nodes[i]
+		nd.fn, nd.afn, nd.arg = nil, nil, nil
+		nd.gen++
+		nd.pos = noEvent
+		nd.next = free
+		free = int32(i)
+	}
+	s.free = free
+	s.heap = append(s.heap[:0], snap.heap...)
+	clear(s.fires)
+	s.fires = append(s.fires[:0], snap.fires...)
+}
+
+// Snapshot holds one captured simulator state (see Sim.Snapshot). The
+// zero value is ready to use; its buffers are reused across captures, so
+// a pooled Snapshot allocates only when the arena or heap outgrow every
+// previous capture.
+type Snapshot struct {
+	now       float64
+	seq       uint64
+	processed uint64
+	free      int32
+	stopped   bool
+	slotT     float64
+	slotSeq   uint64
+	slotFire  FireID
+	slotSet   bool
+	nodes     []node
+	heap      []heapEntry
+	fires     []fireRef
+}
+
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 

@@ -19,17 +19,27 @@ import (
 // math/rand/v2 and adds named substream derivation so that each simulation
 // component (arrival process, service times, ...) can draw from an
 // independent stream derived from one experiment seed.
+//
+// Every RNG remembers the substreams Split derived from it, so the root
+// stream of a replication can snapshot, restore, or perturb the entire
+// stream tree in one call (see Snapshot/Restore/Perturb). rand/v2's Rand
+// holds no state beyond its source, so a PCG value copy is an exact
+// stream snapshot.
 type RNG struct {
 	src  *rand.Rand
-	seed uint64 // retained so Split is a pure function of (seed, label)
+	pcg  *rand.PCG // the underlying generator, retained for state copies
+	seed uint64    // retained so Split is a pure function of (seed, label)
+	kids []*RNG    // substreams in derivation order, for tree snapshots
 }
 
 // NewRNG returns a stream seeded with the given 64-bit seed.
 func NewRNG(seed uint64) *RNG {
 	// Mix the seed into both PCG words so nearby seeds yield unrelated
 	// streams.
+	pcg := rand.NewPCG(splitmix(seed), splitmix(seed^0x9e3779b97f4a7c15))
 	return &RNG{
-		src:  rand.New(rand.NewPCG(splitmix(seed), splitmix(seed^0x9e3779b97f4a7c15))),
+		src:  rand.New(pcg),
+		pcg:  pcg,
 		seed: seed,
 	}
 }
@@ -41,7 +51,70 @@ func NewRNG(seed uint64) *RNG {
 func (r *RNG) Split(label string) *RNG {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(label))
-	return NewRNG(splitmix(r.seed ^ h.Sum64()))
+	kid := NewRNG(splitmix(r.seed ^ h.Sum64()))
+	r.kids = append(r.kids, kid)
+	return kid
+}
+
+// RNGSnap captures the instantaneous state of a stream tree: one PCG
+// value per node in derivation (pre-)order, plus each node's child count
+// at capture time so a restore can realign even if substreams were
+// derived after the snapshot. The zero value is ready to use; the slices
+// are reused across snapshots, so one pooled RNGSnap costs O(streams),
+// not O(snapshots).
+type RNGSnap struct {
+	states []rand.PCG
+	kids   []int32
+}
+
+// Snapshot records the current state of r and of every substream ever
+// derived from it (transitively) into snap, reusing snap's buffers.
+// Snapshot draws nothing from any stream.
+func (r *RNG) Snapshot(snap *RNGSnap) {
+	snap.states = snap.states[:0]
+	snap.kids = snap.kids[:0]
+	r.capture(snap)
+}
+
+func (r *RNG) capture(snap *RNGSnap) {
+	snap.states = append(snap.states, *r.pcg)
+	snap.kids = append(snap.kids, int32(len(r.kids)))
+	for _, k := range r.kids {
+		k.capture(snap)
+	}
+}
+
+// Restore rewinds r and its substream tree to the states captured by
+// Snapshot. Substreams derived after the snapshot keep their current
+// state: nothing references them from restored component state, and a
+// later Split of the same label re-derives the identical stream, so they
+// are inert.
+func (r *RNG) Restore(snap *RNGSnap) {
+	r.restoreAt(snap, 0)
+}
+
+func (r *RNG) restoreAt(snap *RNGSnap, i int) int {
+	*r.pcg = snap.states[i]
+	n := int(snap.kids[i])
+	i++
+	for k := 0; k < n; k++ {
+		i = r.kids[k].restoreAt(snap, i)
+	}
+	return i
+}
+
+// Perturb re-seeds r and its entire substream tree from a mix of each
+// stream's own derivation seed and the perturbation value u: every stream
+// jumps to a decorrelated but fully deterministic state. Model-predictive
+// lookahead uses this so a co-simulated future is a plausible draw from
+// the workload's distribution rather than a clairvoyant replay of the
+// real run's exact future; the caller restores the real states afterward.
+func (r *RNG) Perturb(u uint64) {
+	s := splitmix(r.seed ^ u)
+	r.pcg.Seed(splitmix(s), splitmix(s^0x9e3779b97f4a7c15))
+	for _, k := range r.kids {
+		k.Perturb(u)
+	}
 }
 
 // Uint64 returns a uniform 64-bit value.

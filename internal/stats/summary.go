@@ -278,6 +278,34 @@ func (h *Histogram) AddShape(src *Histogram, n uint64) {
 	h.total += n
 }
 
+// HistSnap holds one captured Histogram state (see Histogram.Snapshot).
+type HistSnap struct {
+	lo, hi  float64
+	counts  []uint64
+	under   uint64
+	over    uint64
+	total   uint64
+	widthIn float64
+}
+
+// Snapshot captures the histogram's counts and range into snap, reusing
+// snap's bucket buffer.
+func (h *Histogram) Snapshot(snap *HistSnap) {
+	snap.lo, snap.hi = h.Lo, h.Hi
+	snap.counts = append(snap.counts[:0], h.Counts...)
+	snap.under, snap.over, snap.total = h.Under, h.Over, h.total
+	snap.widthIn = h.widthIn
+}
+
+// Restore rewinds the histogram to a captured state. The bucket count
+// must match, which holds for snapshots taken from the same histogram.
+func (h *Histogram) Restore(snap *HistSnap) {
+	h.Lo, h.Hi = snap.lo, snap.hi
+	copy(h.Counts, snap.counts)
+	h.Under, h.Over, h.total = snap.under, snap.over, snap.total
+	h.widthIn = snap.widthIn
+}
+
 // Quantile returns an approximate q-quantile (0 ≤ q ≤ 1) assuming uniform
 // density within buckets. Underflow mass is attributed to Lo and overflow
 // to Hi.

@@ -61,6 +61,31 @@ func (w *Window) MeanOr(fallback float64) float64 {
 	return w.sum / float64(n)
 }
 
+// WindowSnap holds one captured Window state (see Window.Snapshot).
+type WindowSnap struct {
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// Snapshot captures the window's contents into snap, reusing snap's
+// buffer.
+func (w *Window) Snapshot(snap *WindowSnap) {
+	snap.buf = append(snap.buf[:0], w.buf...)
+	snap.next = w.next
+	snap.full = w.full
+	snap.sum = w.sum
+}
+
+// Restore rewinds the window to a captured state.
+func (w *Window) Restore(snap *WindowSnap) {
+	copy(w.buf, snap.buf)
+	w.next = snap.next
+	w.full = snap.full
+	w.sum = snap.sum
+}
+
 // EWMA is an exponentially weighted moving average with smoothing factor
 // Alpha in (0, 1]; larger Alpha weights recent observations more.
 type EWMA struct {

@@ -131,6 +131,41 @@ func (w *WindowAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
 	}
 }
 
+// rateHistorySnap is the shared snapshot store of the empirical analyzers
+// (an in-progress window count plus a recent-rate history).
+type rateHistorySnap struct {
+	count   int
+	history []float64
+}
+
+// capture fills sn from the analyzer state, reusing sn's buffer.
+func (sn *rateHistorySnap) capture(count int, history []float64) {
+	sn.count = count
+	sn.history = append(sn.history[:0], history...)
+}
+
+// snapshotRateHistory implements Snapshot for the empirical analyzers.
+func snapshotRateHistory(store any, count int, history []float64) any {
+	sn, _ := store.(*rateHistorySnap)
+	if sn == nil {
+		sn = new(rateHistorySnap)
+	}
+	sn.capture(count, history)
+	return sn
+}
+
+// Snapshot implements Rewindable.
+func (w *WindowAnalyzer) Snapshot(store any) any {
+	return snapshotRateHistory(store, w.count, w.history)
+}
+
+// Restore implements Rewindable.
+func (w *WindowAnalyzer) Restore(store any) {
+	sn := store.(*rateHistorySnap)
+	w.count = sn.count
+	w.history = append(w.history[:0], sn.history...)
+}
+
 // ARAnalyzer is an autoregressive empirical analyzer: it fits an AR(p)
 // model to the sequence of per-window observed arrival rates by ordinary
 // least squares and predicts the next window's rate, inflated by Safety.
@@ -182,6 +217,18 @@ func (a *ARAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
 	if a.Horizon > 0 {
 		s.At(a.Horizon, tk.Stop)
 	}
+}
+
+// Snapshot implements Rewindable.
+func (a *ARAnalyzer) Snapshot(store any) any {
+	return snapshotRateHistory(store, a.count, a.history)
+}
+
+// Restore implements Rewindable.
+func (a *ARAnalyzer) Restore(store any) {
+	sn := store.(*rateHistorySnap)
+	a.count = sn.count
+	a.history = append(a.history[:0], sn.history...)
 }
 
 // forecast returns the one-step AR(p) prediction from the current history,

@@ -50,3 +50,32 @@ func (fa *ForecastAnalyzer) Start(s *sim.Sim, alert func(lambda float64)) {
 		s.At(fa.Horizon, tk.Stop)
 	}
 }
+
+// forecastSnap holds one captured ForecastAnalyzer state.
+type forecastSnap struct {
+	count int
+	fc    any
+}
+
+// Snapshot implements Rewindable; it requires a forecaster that also
+// implements the protocol (every forecaster in internal/forecast does).
+func (fa *ForecastAnalyzer) Snapshot(store any) any {
+	rw, ok := fa.Forecaster.(forecast.Rewindable)
+	if !ok {
+		panic("workload: ForecastAnalyzer snapshot needs a forecast.Rewindable forecaster")
+	}
+	sn, _ := store.(*forecastSnap)
+	if sn == nil {
+		sn = new(forecastSnap)
+	}
+	sn.count = fa.count
+	sn.fc = rw.Snapshot(sn.fc)
+	return sn
+}
+
+// Restore implements Rewindable.
+func (fa *ForecastAnalyzer) Restore(store any) {
+	sn := store.(*forecastSnap)
+	fa.count = sn.count
+	fa.Forecaster.(forecast.Rewindable).Restore(sn.fc)
+}

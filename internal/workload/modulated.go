@@ -20,6 +20,7 @@ type MMPPSource struct {
 
 	state int
 	ids   counter
+	run   *mmppRun // current replication's chain state, retained for snapshot
 }
 
 // MeanRate returns the long-run average rate, weighting each state's rate
@@ -44,44 +45,102 @@ func (m *MMPPSource) Burstiness() float64 {
 // Start schedules the modulated arrival chain. The process is exact: on
 // every state flip the pending interarrival gap is re-drawn under the new
 // state's rate, which is valid because exponential gaps are memoryless.
+// The chain's cross-event state (the pending arrival handle) lives in a
+// run struct shared by package-level callbacks, so a snapshot can reach
+// it; the callbacks draw and schedule in exactly the order the closure
+// version did.
 func (m *MMPPSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
-	arr := r.Split("mmpp/arrivals")
-	svc := r.Split("mmpp/service")
-	mod := r.Split("mmpp/modulation")
+	run := &mmppRun{
+		m:    m,
+		s:    s,
+		emit: emit,
+		arr:  r.Split("mmpp/arrivals"),
+		svc:  r.Split("mmpp/service"),
+		mod:  r.Split("mmpp/modulation"),
+	}
+	m.run = run
+	s.ScheduleFunc(run.mod.ExpFloat64()*m.Sojourns[0], mmppFlip, run)
+	run.schedule()
+}
 
-	var pending sim.Event
-	var arrive func()
-	schedule := func() {
-		pending = sim.Event{}
-		rate := m.Rates[m.state]
-		if rate <= 0 {
-			return // silent state: the next flip reschedules
-		}
-		pending = s.Schedule(arr.ExpFloat64()/rate, arrive)
-	}
-	arrive = func() {
-		now := s.Now()
-		pending = sim.Event{}
-		if m.Horizon > 0 && now >= m.Horizon {
-			return
-		}
-		emit(Request{ID: m.ids.next(), Arrival: now, Service: m.Service.Sample(svc)})
-		schedule()
-	}
+// mmppRun is one replication's chain state: the substreams and the handle
+// of the pending arrival, which a state flip cancels and redraws.
+type mmppRun struct {
+	m       *MMPPSource
+	s       *sim.Sim
+	emit    func(Request)
+	arr     *stats.RNG
+	svc     *stats.RNG
+	mod     *stats.RNG
+	pending sim.Event
+}
 
-	// State switching chain: cancel any pending arrival and redraw its
-	// gap under the new rate (canceling the zero handle is a no-op).
-	var flip func()
-	flip = func() {
-		m.state = 1 - m.state
-		s.Cancel(pending)
-		if m.Horizon == 0 || s.Now() < m.Horizon {
-			schedule()
-			s.Schedule(mod.ExpFloat64()*m.Sojourns[m.state], flip)
-		}
+// schedule arms the next arrival under the current state's rate.
+func (run *mmppRun) schedule() {
+	run.pending = sim.Event{}
+	rate := run.m.Rates[run.m.state]
+	if rate <= 0 {
+		return // silent state: the next flip reschedules
 	}
-	s.Schedule(mod.ExpFloat64()*m.Sojourns[0], flip)
-	schedule()
+	run.pending = run.s.ScheduleFunc(run.arr.ExpFloat64()/rate, mmppArrive, run)
+}
+
+// mmppArrive fires one arrival and re-arms the chain.
+func mmppArrive(a any) {
+	run := a.(*mmppRun)
+	m := run.m
+	now := run.s.Now()
+	run.pending = sim.Event{}
+	if m.Horizon > 0 && now >= m.Horizon {
+		return
+	}
+	run.emit(Request{ID: m.ids.next(), Arrival: now, Service: m.Service.Sample(run.svc)})
+	run.schedule()
+}
+
+// mmppFlip switches the modulation state: cancel any pending arrival and
+// redraw its gap under the new rate (canceling the zero handle is a
+// no-op).
+func mmppFlip(a any) {
+	run := a.(*mmppRun)
+	m := run.m
+	m.state = 1 - m.state
+	run.s.Cancel(run.pending)
+	if m.Horizon == 0 || run.s.Now() < m.Horizon {
+		run.schedule()
+		run.s.ScheduleFunc(run.mod.ExpFloat64()*m.Sojourns[m.state], mmppFlip, run)
+	}
+}
+
+// mmppSnap holds one captured MMPP chain state.
+type mmppSnap struct {
+	state   int
+	ids     counter
+	pending sim.Event
+}
+
+// Snapshot implements Rewindable.
+func (m *MMPPSource) Snapshot(store any) any {
+	sn, _ := store.(*mmppSnap)
+	if sn == nil {
+		sn = new(mmppSnap)
+	}
+	sn.state = m.state
+	sn.ids = m.ids
+	if m.run != nil {
+		sn.pending = m.run.pending
+	}
+	return sn
+}
+
+// Restore implements Rewindable.
+func (m *MMPPSource) Restore(store any) {
+	sn := store.(*mmppSnap)
+	m.state = sn.state
+	m.ids = sn.ids
+	if m.run != nil {
+		m.run.pending = sn.pending
+	}
 }
 
 // SinusoidSource is a non-homogeneous Poisson process with rate
@@ -133,3 +192,10 @@ func (ss *SinusoidSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 	}
 	s.Schedule(arr.ExpFloat64()/envelope, next)
 }
+
+// Snapshot implements Rewindable; the thinned chain's only mutable state
+// outside the kernel and RNG tree is the ID counter.
+func (ss *SinusoidSource) Snapshot(store any) any { return snapshotCounter(store, ss.ids) }
+
+// Restore implements Rewindable.
+func (ss *SinusoidSource) Restore(store any) { ss.ids = store.(*counterSnap).ids }

@@ -431,6 +431,13 @@ func (rs *RenewalSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 	s.Schedule(gap(), next)
 }
 
+// Snapshot implements Rewindable; the renewal chain's only mutable state
+// outside the kernel and RNG tree is the ID counter.
+func (rs *RenewalSource) Snapshot(store any) any { return snapshotCounter(store, rs.ids) }
+
+// Restore implements Rewindable.
+func (rs *RenewalSource) Restore(store any) { rs.ids = store.(*counterSnap).ids }
+
 // compiledClient pairs a client's identity with its fresh per-replication
 // source.
 type compiledClient struct {
@@ -530,6 +537,29 @@ func (m *MultiSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 			q.Client = name
 			emit(q)
 		})
+	}
+}
+
+// multiSnap holds the per-client stores of a multi-source snapshot.
+type multiSnap struct{ stores []any }
+
+// Snapshot implements Rewindable by delegating to each client's source.
+func (m *MultiSource) Snapshot(store any) any {
+	sn, _ := store.(*multiSnap)
+	if sn == nil {
+		sn = &multiSnap{stores: make([]any, len(m.clients))}
+	}
+	for i := range m.clients {
+		sn.stores[i] = m.clients[i].src.(Rewindable).Snapshot(sn.stores[i])
+	}
+	return sn
+}
+
+// Restore implements Rewindable.
+func (m *MultiSource) Restore(store any) {
+	sn := store.(*multiSnap)
+	for i := range m.clients {
+		m.clients[i].src.(Rewindable).Restore(sn.stores[i])
 	}
 }
 

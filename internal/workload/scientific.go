@@ -29,6 +29,7 @@ type Scientific struct {
 	Scale         float64       // load scale factor (1 = paper scale)
 
 	ids counter
+	run *sciRun // current replication's planner state, retained for snapshot
 }
 
 // NewScientific returns the paper's scientific workload at the given load
@@ -97,7 +98,38 @@ func (sc *Scientific) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 			Factor: sc.BaseService,
 		},
 	}
+	sc.run = run
 	run.planDay()
+}
+
+// sciSnap holds one captured scientific-source state.
+type sciSnap struct {
+	ids counter
+	day int
+}
+
+// Snapshot implements Rewindable: the planner's cross-event state is the
+// ID counter and the next day to plan; everything else lives in the
+// kernel and the RNG tree.
+func (sc *Scientific) Snapshot(store any) any {
+	sn, _ := store.(*sciSnap)
+	if sn == nil {
+		sn = new(sciSnap)
+	}
+	sn.ids = sc.ids
+	if sc.run != nil {
+		sn.day = sc.run.day
+	}
+	return sn
+}
+
+// Restore implements Rewindable.
+func (sc *Scientific) Restore(store any) {
+	sn := store.(*sciSnap)
+	sc.ids = sn.ids
+	if sc.run != nil {
+		sc.run.day = sn.day
+	}
 }
 
 // sciRun is one replication's arrival-process state. The planner, the

@@ -39,10 +39,19 @@ func (p *PoissonSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 	s.Schedule(arr.ExpFloat64()/p.Rate, next)
 }
 
+// Snapshot implements Rewindable; the arrival chain's only mutable state
+// outside the kernel and RNG tree is the ID counter.
+func (p *PoissonSource) Snapshot(store any) any { return snapshotCounter(store, p.ids) }
+
+// Restore implements Rewindable.
+func (p *PoissonSource) Restore(store any) { p.ids = store.(*counterSnap).ids }
+
 // TraceSource replays a fixed list of requests, e.g. one captured from a
 // production system or another generator. Requests need not be sorted.
 type TraceSource struct {
 	Requests []Request
+
+	wk *batchWalker // the replay walker, retained for snapshot/restore
 }
 
 // MeanRate returns the trace's overall average rate.
@@ -69,8 +78,32 @@ func (ts *TraceSource) Start(s *sim.Sim, _ *stats.RNG, emit func(Request)) {
 	if len(ts.Requests) == 0 {
 		return
 	}
-	wk := newBatchWalker(s, emit)
-	wk.start(append([]Request(nil), ts.Requests...))
+	ts.wk = newBatchWalker(s, emit)
+	ts.wk.start(append([]Request(nil), ts.Requests...))
+}
+
+// traceSnap holds a trace replay's captured position. The replay batch is
+// immutable after the initial sort, so the snapshot is O(1): only the
+// walker's cursor needs saving.
+type traceSnap struct{ idx int }
+
+// Snapshot implements Rewindable.
+func (ts *TraceSource) Snapshot(store any) any {
+	sn, _ := store.(*traceSnap)
+	if sn == nil {
+		sn = new(traceSnap)
+	}
+	if ts.wk != nil {
+		sn.idx = ts.wk.idx
+	}
+	return sn
+}
+
+// Restore implements Rewindable.
+func (ts *TraceSource) Restore(store any) {
+	if ts.wk != nil {
+		ts.wk.idx = store.(*traceSnap).idx
+	}
 }
 
 // StepSource produces Poisson arrivals whose rate is piecewise constant:
@@ -132,6 +165,13 @@ func (ss *StepSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 	}
 	schedule()
 }
+
+// Snapshot implements Rewindable; the chain's only mutable state outside
+// the kernel and RNG tree is the ID counter.
+func (ss *StepSource) Snapshot(store any) any { return snapshotCounter(store, ss.ids) }
+
+// Restore implements Rewindable.
+func (ss *StepSource) Restore(store any) { ss.ids = store.(*counterSnap).ids }
 
 // OracleAnalyzer is an Analyzer for StepSource-like sources: it alerts
 // with the exact mean rate at every supplied change point. Used in tests

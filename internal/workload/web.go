@@ -54,6 +54,7 @@ type Web struct {
 	Scale       float64    // load scale factor (1 = paper scale)
 
 	ids counter
+	run *webTicker // current replication's tick state, retained for snapshot
 }
 
 // NewWeb returns the paper's web workload at the given load scale
@@ -112,7 +113,7 @@ func (w *Web) TickInterval() float64 { return w.Interval }
 // and service substreams (split from r in Start's order) and the pooled
 // batch walker.
 func (w *Web) NewTicker(s *sim.Sim, r *stats.RNG, emit func(Request)) Ticker {
-	return &webTicker{
+	tk := &webTicker{
 		w:   w,
 		s:   s,
 		arr: r.Split("web/arrivals"),
@@ -124,6 +125,8 @@ func (w *Web) NewTicker(s *sim.Sim, r *stats.RNG, emit func(Request)) Ticker {
 		emit: emit,
 		wk:   newBatchWalker(s, emit),
 	}
+	w.run = tk
+	return tk
 }
 
 // webTicker is one run's tick state for the web generator.
@@ -135,6 +138,12 @@ type webTicker struct {
 	service stats.Scaled
 	emit    func(Request)
 	wk      *batchWalker
+
+	// prevs holds superseded walkers that are still draining (a batch can
+	// outlive its tick only when a sampled arrival rounded up to exactly
+	// the tick boundary); a snapshot must capture their cursors too.
+	// Almost always empty.
+	prevs []*batchWalker
 }
 
 // SampleCount draws the tick's realized request count: the rate is
@@ -152,10 +161,21 @@ func (tk *webTicker) Emit(now float64, n int) {
 		return
 	}
 	w := tk.w
+	if len(tk.prevs) > 0 {
+		// Prune walkers that finished draining since the last tick.
+		live := tk.prevs[:0]
+		for _, pw := range tk.prevs {
+			if pw.active() {
+				live = append(live, pw)
+			}
+		}
+		tk.prevs = live
+	}
 	if tk.wk.active() {
 		// A prior batch is still draining — possible only when a
 		// sampled arrival rounded up to exactly the tick boundary.
 		// Leave the old walker to finish and start a fresh one.
+		tk.prevs = append(tk.prevs, tk.wk)
 		tk.wk = newBatchWalker(tk.s, tk.emit)
 	}
 	batch := tk.wk.batch[:0]
@@ -223,6 +243,32 @@ func (wk *batchWalker) precount(n int, width float64) ([]int32, float64) {
 
 // active reports whether a previous batch is still being drained.
 func (wk *batchWalker) active() bool { return wk.idx < len(wk.batch) }
+
+// walkerSnap holds one walker's captured drain state. The batch and
+// scratch buffers are overwritten by the next tick, so the snapshot
+// copies the undrained remnant batch[idx:] — O(live batch), not O(tick
+// history) — into a buffer the snap reuses across captures.
+type walkerSnap struct {
+	wk      *batchWalker
+	remnant []Request
+}
+
+// snapshot captures wk's undrained remnant into sn.
+func (wk *batchWalker) snapshot(sn *walkerSnap) {
+	sn.wk = wk
+	sn.remnant = append(sn.remnant[:0], wk.batch[wk.idx:]...)
+}
+
+// restore rewinds the captured walker: the remnant is copied back with
+// the cursor renumbered to zero, which the pending walkBatch event (if
+// the walker was active) indexes correctly because the event carries no
+// cursor of its own. precounted is always false at event boundaries.
+func (sn *walkerSnap) restore() {
+	wk := sn.wk
+	wk.batch = append(wk.batch[:0], sn.remnant...)
+	wk.idx = 0
+	wk.precounted = false
+}
 
 // requestCmp is the firing order: (arrival time, ID). IDs ascend in
 // generation order and are unique, so this is a total order and every
@@ -371,6 +417,64 @@ func walkBatch(a any) {
 			return
 		}
 		s.InlineFire(next, seq)
+	}
+}
+
+// webSnap holds one captured web-generator state: the ID counter, the
+// identity of the current walker (a later tick may have replaced it),
+// and the drain state of every walker that was live at the capture.
+type webSnap struct {
+	ids   counter
+	wk    *batchWalker
+	cur   walkerSnap
+	prevs []walkerSnap
+}
+
+// Snapshot implements Rewindable.
+func (w *Web) Snapshot(store any) any {
+	sn, _ := store.(*webSnap)
+	if sn == nil {
+		sn = new(webSnap)
+	}
+	sn.ids = w.ids
+	tk := w.run
+	if tk == nil {
+		sn.wk = nil
+		return sn
+	}
+	sn.wk = tk.wk
+	tk.wk.snapshot(&sn.cur)
+	sn.prevs = sn.prevs[:0]
+	for _, pw := range tk.prevs {
+		if !pw.active() {
+			continue
+		}
+		if len(sn.prevs) < cap(sn.prevs) {
+			sn.prevs = sn.prevs[:len(sn.prevs)+1]
+		} else {
+			sn.prevs = append(sn.prevs, walkerSnap{})
+		}
+		pw.snapshot(&sn.prevs[len(sn.prevs)-1])
+	}
+	return sn
+}
+
+// Restore implements Rewindable. Walkers created after the capture are
+// left behind as garbage: the kernel restore already removed their
+// events, so they are inert.
+func (w *Web) Restore(store any) {
+	sn := store.(*webSnap)
+	w.ids = sn.ids
+	tk := w.run
+	if tk == nil || sn.wk == nil {
+		return
+	}
+	tk.wk = sn.wk
+	sn.cur.restore()
+	tk.prevs = tk.prevs[:0]
+	for i := range sn.prevs {
+		sn.prevs[i].restore()
+		tk.prevs = append(tk.prevs, sn.prevs[i].wk)
 	}
 }
 

@@ -120,6 +120,12 @@ func HybridPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
 	return experiment.HybridPanel(scale, reps, seed)
 }
 
+// MPCPanel returns the built-in model-predictive panel: the web scenario
+// with the mpc:600 policy against adaptive and the full static ladder.
+func MPCPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
+	return experiment.MPCPanel(scale, reps, seed)
+}
+
 // ParsePanelSpec strictly decodes a JSON panel spec (unknown fields are
 // errors).
 func ParsePanelSpec(data []byte) (PanelSpec, error) {

@@ -54,6 +54,12 @@ type (
 	// RunContext is a reusable replication context (pooled simulator,
 	// data center, and collector).
 	RunContext = experiment.RunContext
+	// World is one assembled replication frozen in flight — the
+	// snapshot/restore surface behind MPC policies and checkpointing.
+	World = experiment.World
+	// Checkpoint is a warmed-up replication that variant futures can be
+	// forked from without re-simulating the shared prefix.
+	Checkpoint = experiment.Checkpoint
 	// QoS holds the negotiated targets (response time, rejection,
 	// utilization floor).
 	QoS = provision.QoS
@@ -116,6 +122,16 @@ func Adaptive() Policy { return experiment.AdaptivePolicy() }
 
 // Static returns the paper's baseline: a fixed fleet of m instances.
 func Static(m int) Policy { return experiment.StaticPolicy(m) }
+
+// MPC returns the model-predictive policy: every horizon/2 seconds the
+// run snapshots itself, co-simulates candidate fleet sizes horizon
+// seconds ahead under perturbed random streams, and commits the
+// cheapest on the combined cost + QoS objective. candidates caps the
+// per-cycle candidate set (0 = default 5). Registered as
+// "mpc:<horizon>[:candidates]".
+func MPC(horizon float64, candidates int) Policy {
+	return experiment.MPCPolicy(horizon, candidates)
+}
 
 // RunOnce executes one seeded replication and returns its metrics (plus
 // the instance-count series when requested). Deterministic in (scenario,
