@@ -14,10 +14,12 @@ FFOUT     ?= BENCH_ff.json
 FFTMP     ?= /tmp/BENCH_ff_fresh.json
 MPCOUT    ?= BENCH_mpc.json
 MPCTMP    ?= /tmp/BENCH_mpc_fresh.json
+CHAOSOUT  ?= BENCH_chaos.json
+CHAOSTMP  ?= /tmp/BENCH_chaos_fresh.json
 
-.PHONY: ci fmt vet lint build test race sweep-race fault-smoke fuzz bench-smoke sweep-smoke spec-roundtrip ff-smoke snapshot-smoke bench bench-sweep bench-compare bench-ff bench-mpc golden
+.PHONY: ci fmt vet lint build test race sweep-race fault-smoke chaos-smoke fuzz bench-smoke sweep-smoke spec-roundtrip ff-smoke snapshot-smoke bench bench-sweep bench-compare bench-ff bench-mpc bench-chaos golden
 
-ci: fmt vet lint build race sweep-race fault-smoke fuzz bench-smoke sweep-smoke spec-roundtrip ff-smoke snapshot-smoke
+ci: fmt vet lint build race sweep-race fault-smoke chaos-smoke fuzz bench-smoke sweep-smoke spec-roundtrip ff-smoke snapshot-smoke
 
 # gofmt cleanliness gate: fail (and list the files) if any tracked Go
 # source is not gofmt-formatted.
@@ -62,6 +64,15 @@ fault-smoke:
 	$(GO) test -race -count=1 ./internal/provision -run 'TestRetry|TestCrash|TestBootFailure|TestStaleBoot|TestTransientRelease|TestGracefulDegradation|TestReactivated|TestCeiling'
 	$(GO) run ./cmd/vmprovsim -spec examples/specs/web_fault_panel.json > /dev/null
 
+# Chaos smoke: the correlated failure-domain suite — breaker, shed, and
+# backoff unit tests plus the chaos panel's determinism, invariant, and
+# mid-outage snapshot properties — under the race detector, then a short
+# -chaos run whose per-replication invariant checks gate the process.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/provision -run 'TestBreaker|TestShed|TestAllZonesOpen|TestRetryBackoff|TestRetryPolicyValidate|TestBreakerAndShedPolicyValidate'
+	$(GO) test -race -count=1 ./internal/experiment -run 'TestChaos|TestSweepChaos'
+	$(GO) run ./cmd/vmprovsim -chaos -chaosscale 0.02 -chaosreps 1 -chaoshorizon 3600 > /dev/null
+
 # Short fuzzing of the kernel's heap/arena against the reference
 # scheduler, the fault-schedule determinism fuzzer, and the strict v2
 # trace decoder (decode/re-encode round-trip). The seed corpora also run
@@ -69,6 +80,7 @@ fault-smoke:
 fuzz:
 	$(GO) test ./internal/sim -run FuzzSimHeap -fuzz FuzzSimHeap -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiment -run FuzzFaultSchedule -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiment -run FuzzChaosSchedule -fuzz FuzzChaosSchedule -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiment -run FuzzSnapshotRestore -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run FuzzTraceV2Decode -fuzz FuzzTraceV2Decode -fuzztime $(FUZZTIME)
 
@@ -127,9 +139,10 @@ bench-sweep:
 
 # Guard against regressions on every committed benchmark trajectory:
 # regenerate each report fresh and diff it against the committed record
-# with benchdiff (which auto-detects the sweep / ff / mpc formats) —
-# sweep gates replication throughput, ff gates the hybrid speedup and
-# accuracy contract, mpc gates each policy's cost + QoS objective.
+# with benchdiff (which auto-detects the sweep / ff / mpc / chaos
+# formats) — sweep gates replication throughput, ff gates the hybrid
+# speedup and accuracy contract, mpc gates each policy's cost + QoS
+# objective, chaos gates per-tier availability and zone MTTR.
 bench-compare:
 	$(GO) run ./cmd/vmprovsim -benchsweep $(SWEEPTMP) -sweepbaseline BENCH_sweep_prechange.json
 	$(GO) run ./cmd/benchdiff -old $(SWEEPOUT) -new $(SWEEPTMP) -tolerance 0.20
@@ -137,6 +150,8 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(FFOUT) -new $(FFTMP) -tolerance 0.20
 	$(GO) run ./cmd/vmprovsim -benchmpc $(MPCTMP)
 	$(GO) run ./cmd/benchdiff -old $(MPCOUT) -new $(MPCTMP) -tolerance 0.20
+	$(GO) run ./cmd/vmprovsim -benchchaos $(CHAOSTMP)
+	$(GO) run ./cmd/benchdiff -old $(CHAOSOUT) -new $(CHAOSTMP) -tolerance 0.20
 
 # Regenerate the committed hybrid fast-forward record: the 6-hour web
 # panel, exact vs hybrid, 3 reps per policy.
@@ -147,6 +162,11 @@ bench-ff:
 # panel (mpc:600 vs adaptive vs the static ladder), 3 reps per policy.
 bench-mpc:
 	$(GO) run ./cmd/vmprovsim -benchmpc $(MPCOUT)
+
+# Regenerate the committed chaos resilience record: the 2-hour web-chaos
+# panel up the full fault-intensity ladder, 3 reps per tier.
+bench-chaos:
+	$(GO) run ./cmd/vmprovsim -benchchaos $(CHAOSOUT)
 
 # Re-pin the kernel golden file after a DELIBERATE semantic change to
 # event ordering or RNG stream layout. Never run to silence a failure.

@@ -20,6 +20,9 @@
 //   - mpc reports ("bench": "mpc") match policies by name and gate each
 //     policy's cost + QoS objective increase — the simulated figures are
 //     deterministic, so the tolerance only absorbs intended retunings.
+//   - chaos reports ("bench": "chaos") match fault tiers by name and gate
+//     per-tier availability drops and zone-MTTR growth; trips and shed
+//     counts are shown but not gated.
 //
 // Both files must be the same kind; comparing across kinds is an error.
 package main
@@ -50,6 +53,14 @@ type mpcPolicy struct {
 	Objective float64 `json:"objective"`
 }
 
+type chaosTier struct {
+	Tier         string  `json:"tier"`
+	Availability float64 `json:"availability"`
+	ZoneMTTRSecs float64 `json:"zone_mttr_s"`
+	BreakerTrips uint64  `json:"breaker_trips"`
+	Shed         uint64  `json:"shed"`
+}
+
 // report is the union of every committed bench format; kind() tells the
 // shapes apart by their distinguishing fields.
 type report struct {
@@ -74,6 +85,9 @@ type report struct {
 	MPCPolicies  []mpcPolicy `json:"-"`
 	MPCObjective float64     `json:"mpc_objective"`
 	MPCvsBest    float64     `json:"mpc_vs_best_baseline"`
+
+	// chaos shape
+	Tiers []chaosTier `json:"tiers"`
 }
 
 // reportPolicies splits the shape-dependent "policies" array, decoded in
@@ -119,6 +133,10 @@ func load(path string) (report, error) {
 		}
 		if len(rep.MPCPolicies) == 0 {
 			return rep, fmt.Errorf("%s has no policies", path)
+		}
+	case "chaos":
+		if len(rep.Tiers) == 0 {
+			return rep, fmt.Errorf("%s has no fault tiers", path)
 		}
 	default:
 		return rep, fmt.Errorf("%s is not a recognized bench report (no runs, exact_wall_seconds, or bench marker)", path)
@@ -224,6 +242,56 @@ func diffMPC(oldRep, newRep report, tol float64) int {
 	return 0
 }
 
+// diffChaos gates each fault tier's resilience: availability must not
+// drop more than the tolerance (fractionally), and zone MTTR must not
+// grow more than the tolerance over a non-zero baseline. Trips and shed
+// counts are shown for context but not gated — they legitimately move
+// with intended policy retunings.
+func diffChaos(oldRep, newRep report, tol float64) int {
+	oldByTier := make(map[string]chaosTier, len(oldRep.Tiers))
+	for _, t := range oldRep.Tiers {
+		oldByTier[t.Tier] = t
+	}
+	failed := false
+	matched := 0
+	fmt.Printf("%-10s %10s %10s %8s %14s %14s\n", "tier", "old avail", "new avail", "Δ", "zone MTTR", "trips/shed")
+	for _, n := range newRep.Tiers {
+		o, ok := oldByTier[n.Tier]
+		if !ok {
+			fmt.Printf("%-10s %10s %10.4f %8s %7s→%-6.1f %6d/%-7d  (new tier, no baseline)\n",
+				n.Tier, "—", n.Availability, "—", "—", n.ZoneMTTRSecs, n.BreakerTrips, n.Shed)
+			continue
+		}
+		matched++
+		status := ""
+		availDelta := 0.0
+		if o.Availability > 0 {
+			availDelta = n.Availability/o.Availability - 1
+			if availDelta < -tol {
+				status = "  REGRESSION"
+				failed = true
+			}
+		}
+		if o.ZoneMTTRSecs > 0 && n.ZoneMTTRSecs > o.ZoneMTTRSecs*(1+tol) {
+			status = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-10s %10.4f %10.4f %+7.2f%% %6.1f→%-7.1f %6d/%-7d%s\n",
+			n.Tier, o.Availability, n.Availability, availDelta*100,
+			o.ZoneMTTRSecs, n.ZoneMTTRSecs, n.BreakerTrips, n.Shed, status)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no fault tiers matched between reports")
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: resilience regressed more than %.0f%% on at least one fault tier\n", tol*100)
+		return 1
+	}
+	fmt.Printf("ok: %d fault tier(s) within %.0f%% of baseline\n", matched, tol*100)
+	return 0
+}
+
 func main() {
 	oldPath := flag.String("old", "BENCH_sweep.json", "committed baseline report")
 	newPath := flag.String("new", "", "freshly measured report")
@@ -264,5 +332,7 @@ func main() {
 		os.Exit(diffFF(oldRep, newRep, *tol))
 	case "mpc":
 		os.Exit(diffMPC(oldRep, newRep, *tol))
+	case "chaos":
+		os.Exit(diffChaos(oldRep, newRep, *tol))
 	}
 }

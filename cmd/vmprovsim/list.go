@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"vmprov"
 )
@@ -22,6 +23,27 @@ func printRegistries(w io.Writer) {
 	section("policies (-policy, panel \"policies\")", vmprov.PolicyNames())
 	section("workload kinds (spec \"workload.kind\")", vmprov.WorkloadNames())
 	section("placements (spec \"placement\")", vmprov.PlacementNames())
+	section("panel presets (-dumpspec)", []string{
+		"web", "scientific", "all", "web-fault", "web-multi",
+		"web-hybrid", "web-mpc", "web-chaos",
+	})
+	fmt.Fprintf(w, "chaos fault tiers (-chaos, -dumpspec web-chaos):\n")
+	for _, tier := range vmprov.ChaosTiers() {
+		d := tier.Domains
+		var parts []string
+		if d.Brownout.MTBF > 0 {
+			parts = append(parts, fmt.Sprintf("brownouts (boot ×%g, +%.0f%% API errors)",
+				d.Brownout.BootFactor, d.Brownout.ErrorProb*100))
+		}
+		if d.Outage.MTBF > 0 {
+			parts = append(parts, fmt.Sprintf("%d-zone outages (MTBF %.0fs)", d.Zones, d.Outage.MTBF))
+		}
+		if d.Storm.MTBF > 0 {
+			parts = append(parts, fmt.Sprintf("crash storms (kill %.0f%%)", d.Storm.KillProb*100))
+		}
+		fmt.Fprintf(w, "  %-9s %s\n", tier.Name, strings.Join(parts, " + "))
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "modes (-mode, spec \"mode\"):\n  %s (default)\n  %s\n",
 		vmprov.ModeExact, vmprov.ModeHybrid)
 }

@@ -15,6 +15,8 @@
 //	vmprovsim -spec multi.json
 //	vmprovsim -benchff BENCH_ff.json
 //	vmprovsim -benchmpc BENCH_mpc.json
+//	vmprovsim -chaos -chaosscale 0.02 -chaosreps 1
+//	vmprovsim -benchchaos BENCH_chaos.json
 //	vmprovsim -scenario web-multi -record arrivals.trace
 //	vmprovsim -benchkernel BENCH_kernel.json -benchscales 0.1,1
 //	vmprovsim -scenario web -scale 1 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -73,6 +75,12 @@ func main() {
 		benchMPC = flag.String("benchmpc", "", "run the model-predictive panel benchmark (mpc vs adaptive vs static ladder) and write its JSON report to this file")
 		mpcScale = flag.Float64("mpcscale", 0.05, "web load scale for -benchmpc")
 		mpcReps  = flag.Int("mpcreps", 3, "replications per policy for -benchmpc")
+
+		chaos      = flag.Bool("chaos", false, "run the chaos panel (fault-intensity ladder with per-replication invariant checks) and print per-tier resilience results")
+		benchChaos = flag.String("benchchaos", "", "run the chaos panel and write its JSON resilience report to this file")
+		chaosScale = flag.Float64("chaosscale", 0, "load scale for -chaos/-benchchaos (0 = scenario default)")
+		chaosReps  = flag.Int("chaosreps", 3, "replications for -chaos/-benchchaos")
+		chaosHoriz = flag.Float64("chaoshorizon", 0, "override simulated seconds per chaos replication (0 = scenario default)")
 
 		benchSweep = flag.String("benchsweep", "", "run the sweep-engine panel benchmark and write its JSON report to this file")
 		sweepBase  = flag.String("sweepbaseline", "", "prior -benchsweep report to embed as the speedup baseline (default: in-process legacy run)")
@@ -155,6 +163,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "sweep bench → %s\n", *benchSweep)
+		return
+	}
+
+	if *benchChaos != "" {
+		if err := runChaosBench(*benchChaos, *chaosScale, *chaosReps, *seed, *workers, *chaosHoriz); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "chaos bench → %s\n", *benchChaos)
+		return
+	}
+
+	if *chaos {
+		if err := runChaos(*chaosScale, *chaosReps, *seed, *workers, *chaosHoriz); err != nil {
+			fmt.Fprintln(os.Stderr, "vmprovsim:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

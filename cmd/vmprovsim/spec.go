@@ -12,12 +12,19 @@ import (
 // "all" for one panel holding both scenarios, "web-fault" for the
 // resilience panel with injected crashes and API faults, "web-multi"
 // for the multi-client cohort panel, "web-hybrid" for the hybrid
-// fast-forward validation panel, or "web-mpc" for the model-predictive
-// comparison panel) as indented JSON. scale 0 picks each scenario's
-// default; reps and seed are embedded verbatim.
+// fast-forward validation panel, "web-mpc" for the model-predictive
+// comparison panel, or "web-chaos" for the failure-domain chaos panel)
+// as indented JSON. scale 0 picks each scenario's default; reps and seed
+// are embedded verbatim.
 func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) error {
 	var spec vmprov.PanelSpec
 	switch name {
+	case "web-chaos":
+		var err error
+		spec, err = vmprov.ChaosPanel(scale, reps, seed)
+		if err != nil {
+			return err
+		}
 	case "web-mpc":
 		var err error
 		spec, err = vmprov.MPCPanel(scale, reps, seed)
@@ -58,7 +65,7 @@ func dumpSpec(w io.Writer, name string, scale float64, reps int, seed uint64) er
 		var err error
 		spec, err = vmprov.PaperPanel(name, scale, reps, seed)
 		if err != nil {
-			return fmt.Errorf("%w (or \"all\", \"web-fault\", \"web-multi\", \"web-hybrid\", \"web-mpc\")", err)
+			return fmt.Errorf("%w (or \"all\", \"web-fault\", \"web-multi\", \"web-hybrid\", \"web-mpc\", \"web-chaos\")", err)
 		}
 	}
 	data, err := spec.MarshalJSONIndent()

@@ -29,7 +29,7 @@ func TestDumpSpecUnknownScenario(t *testing.T) {
 	if joined := strings.Join(names, ", "); !strings.Contains(msg, joined) {
 		t.Errorf("error %q does not list the sorted scenario registry %q", msg, joined)
 	}
-	for _, extra := range []string{`"all"`, `"web-fault"`} {
+	for _, extra := range []string{`"all"`, `"web-fault"`, `"web-chaos"`} {
 		if !strings.Contains(msg, extra) {
 			t.Errorf("error %q does not mention the CLI panel name %s", msg, extra)
 		}

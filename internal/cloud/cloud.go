@@ -37,6 +37,13 @@ var ErrUnknownVM = errors.New("cloud: unknown VM")
 // (a transient error is not a capacity shortfall).
 var ErrTransient = errors.New("cloud: transient API error")
 
+// ErrZoneDown reports that the targeted failure domain (a federation
+// member) is unavailable for the duration of an outage window. It wraps
+// ErrTransient — the zone comes back, so retry/backoff and circuit
+// breakers both treat it as retryable — while staying errors.Is-matchable
+// on its own for zone-aware callers.
+var ErrZoneDown = fmt.Errorf("cloud: zone unavailable: %w", ErrTransient)
+
 // HostSpec describes one physical machine.
 type HostSpec struct {
 	Cores int
@@ -83,6 +90,20 @@ func (h *host) fits(spec VMSpec) bool {
 type Provider interface {
 	Provision(now float64, spec VMSpec) (VM, error)
 	Release(now float64, id int) error
+}
+
+// ZonedProvider is a Provider whose capacity spans multiple failure
+// domains ("zones" — federation members). Zone-aware callers (the
+// circuit-breaking provisioner, the fault layer's outage process) address
+// capacity per zone through ProvisionIn; plain Provider users keep the
+// aggregate view.
+type ZonedProvider interface {
+	Provider
+	// Zones returns the number of failure domains (≥ 1).
+	Zones() int
+	// ProvisionIn places a VM inside the given zone only. The returned
+	// VM's Host is the zone index.
+	ProvisionIn(now float64, zone int, spec VMSpec) (VM, error)
 }
 
 // Placement selects the resource provisioner's VM-to-host mapping

@@ -1,6 +1,9 @@
 package cloud
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Federation is the paper's Cloud computing system P = (c₁, c₂, …, cₙ):
 // a set of IaaS clouds the application provider can draw VMs from. VMs
@@ -95,15 +98,35 @@ func (f *Federation) Provision(now float64, spec VMSpec) (VM, error) {
 		}
 	}
 	if best == -1 {
-		return VM{}, ErrNoCapacity
+		return VM{}, fmt.Errorf("cloud: federation exhausted across %d member(s): %w", len(f.members), ErrNoCapacity)
 	}
-	vm, err := f.members[best].Provision(now, spec)
+	return f.provisionIn(now, best, spec)
+}
+
+// Zones returns the number of failure domains — one per member cloud.
+func (f *Federation) Zones() int { return len(f.members) }
+
+// ProvisionIn places the VM inside member zone only, implementing
+// ZonedProvider. A full member reports ErrNoCapacity (wrapped with the
+// zone index) so zone-aware callers can fail over to a healthy member.
+func (f *Federation) ProvisionIn(now float64, zone int, spec VMSpec) (VM, error) {
+	if zone < 0 || zone >= len(f.members) {
+		return VM{}, fmt.Errorf("cloud: federation has no zone %d (members: %d)", zone, len(f.members))
+	}
+	return f.provisionIn(now, zone, spec)
+}
+
+func (f *Federation) provisionIn(now float64, member int, spec VMSpec) (VM, error) {
+	vm, err := f.members[member].Provision(now, spec)
 	if err != nil {
+		if errors.Is(err, ErrNoCapacity) {
+			return VM{}, fmt.Errorf("cloud: federation member %d exhausted: %w", member, ErrNoCapacity)
+		}
 		return VM{}, err
 	}
 	f.nextID++
-	f.placed[f.nextID] = fedVM{member: best, localID: vm.ID}
-	return VM{ID: f.nextID, Host: best, Spec: spec}, nil
+	f.placed[f.nextID] = fedVM{member: member, localID: vm.ID}
+	return VM{ID: f.nextID, Host: member, Spec: spec}, nil
 }
 
 // Release frees a federation-provisioned VM.
@@ -143,4 +166,4 @@ func (f *Federation) EnergyKWh(now float64) float64 {
 	return e
 }
 
-var _ Provider = (*Federation)(nil)
+var _ ZonedProvider = (*Federation)(nil)

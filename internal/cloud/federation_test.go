@@ -1,6 +1,10 @@
 package cloud
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+)
 
 // twoMemberFed builds an asymmetric federation: a big member with room
 // for 8 single-core VMs and a small one with room for 2, so spare-
@@ -96,6 +100,61 @@ func TestFederationExhaustion(t *testing.T) {
 	}
 	if _, err := fed.Provision(0, spec); err != nil {
 		t.Fatalf("provision after release failed: %v", err)
+	}
+}
+
+// TestFederationTypedErrors: every federation error path reports a typed
+// sentinel matchable through errors.Is, with the wrap carrying routing
+// context (the member index or the member count).
+func TestFederationTypedErrors(t *testing.T) {
+	fed, _, _ := twoMemberFed()
+	spec := DefaultVMSpec()
+
+	// Exhaustion across the whole federation wraps ErrNoCapacity.
+	for i := 0; i < 10; i++ {
+		if _, err := fed.Provision(0, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := fed.Provision(0, spec)
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("federation exhaustion = %v, want errors.Is ErrNoCapacity", err)
+	}
+	if !strings.Contains(err.Error(), "2 member(s)") {
+		t.Fatalf("exhaustion error %q does not name the member count", err)
+	}
+
+	// A single exhausted member wraps ErrNoCapacity with its zone index,
+	// so zone-aware callers can fail over without breaker bookkeeping.
+	_, err = fed.ProvisionIn(0, 1, spec)
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("member exhaustion = %v, want errors.Is ErrNoCapacity", err)
+	}
+	if !strings.Contains(err.Error(), "member 1") {
+		t.Fatalf("member exhaustion error %q does not name the member", err)
+	}
+
+	// A zone index out of range is a wiring bug, not a capacity signal.
+	for _, zone := range []int{-1, 2} {
+		_, err := fed.ProvisionIn(0, zone, spec)
+		if err == nil {
+			t.Fatalf("ProvisionIn(zone=%d) succeeded on a 2-member federation", zone)
+		}
+		if errors.Is(err, ErrNoCapacity) || errors.Is(err, ErrTransient) {
+			t.Fatalf("ProvisionIn(zone=%d) = %v, want a plain wiring error", zone, err)
+		}
+	}
+
+	// Releasing an ID the federation never issued wraps ErrUnknownVM.
+	err = fed.Release(0, 999)
+	if !errors.Is(err, ErrUnknownVM) {
+		t.Fatalf("unknown release = %v, want errors.Is ErrUnknownVM", err)
+	}
+
+	// ErrZoneDown is transient by construction: retry loops that match
+	// ErrTransient treat a dark zone as recoverable.
+	if !errors.Is(ErrZoneDown, ErrTransient) {
+		t.Fatal("ErrZoneDown does not wrap ErrTransient")
 	}
 }
 

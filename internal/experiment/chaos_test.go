@@ -1,0 +1,238 @@
+package experiment
+
+import (
+	"testing"
+
+	"vmprov/internal/fault"
+	"vmprov/internal/metrics"
+)
+
+// tinyChaosPanel trims the chaos panel for race-enabled test sweeps: a
+// lighter load scale and a one-hour horizon, full fault-tier ladder.
+func tinyChaosPanel(t testing.TB, reps int) PanelSpec {
+	t.Helper()
+	ps, err := ChaosPanel(0.02, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps.Scenarios {
+		ps.Scenarios[i].Horizon = 3600
+	}
+	return ps
+}
+
+// TestSweepChaosPanelDeterministicAcrossWorkers: the chaos panel — zone
+// outages, brownouts, and crash storms included — is bit-identical at
+// every sweep worker count with pooled-context reuse, because every
+// domain process draws from its own substream.
+func TestSweepChaosPanelDeterministicAcrossWorkers(t *testing.T) {
+	panel, err := tinyChaosPanel(t, 2).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := panel.Jobs()
+	base := Sweep(jobs, SweepOptions{Workers: 1})
+	var sawOutage, sawTrip, sawStormCrash bool
+	for _, r := range base {
+		if r.ZoneOutages > 0 {
+			sawOutage = true
+		}
+		if r.BreakerTrips > 0 {
+			sawTrip = true
+		}
+		if r.Crashes > 0 {
+			sawStormCrash = true
+		}
+	}
+	if !sawOutage {
+		t.Fatal("chaos panel produced no zone outages — domain faults not wired")
+	}
+	if !sawTrip {
+		t.Fatal("chaos panel tripped no circuit breaker")
+	}
+	if !sawStormCrash {
+		t.Fatal("chaos panel produced no crashes")
+	}
+	for _, workers := range []int{4, 8} {
+		got := Sweep(jobs, SweepOptions{Workers: workers})
+		for i := range base {
+			if !metrics.Equal(got[i], base[i]) {
+				t.Fatalf("workers=%d job %d differs:\n%+v\n%+v", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestChaosPanelInvariantsEveryReplication: the machine-checked chaos
+// invariants hold after every single replication of the panel, observed
+// through the sweep's OnReplication hook, and shedding actually fired
+// somewhere in the ladder (so the class-ordering check has teeth).
+func TestChaosPanelInvariantsEveryReplication(t *testing.T) {
+	ps := tinyChaosPanel(t, 2)
+	panel, err := ps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := panel.Jobs()
+	checked := 0
+	var sawShed bool
+	Sweep(jobs, SweepOptions{
+		Workers: 4,
+		OnReplication: func(i int, res metrics.Result, _ []metrics.SeriesPoint) {
+			checked++
+			if res.Shed > 0 {
+				sawShed = true
+			}
+			if err := CheckChaosInvariants(res, jobs[i].Scenario.Horizon); err != nil {
+				t.Errorf("job %d (%s seed %d): %v", i, jobs[i].Scenario.Name, jobs[i].Seed, err)
+			}
+		},
+	})
+	if checked != len(jobs) {
+		t.Fatalf("checked %d of %d replications", checked, len(jobs))
+	}
+	if !sawShed {
+		t.Fatal("no replication shed any traffic — degraded-mode admission never engaged")
+	}
+}
+
+// TestChaosSnapshotMidOutageBitIdentical: freezing the world mid-outage,
+// running to the horizon, rewinding, and running again is bit-identical —
+// and both match the same replication run without any snapshot.
+func TestChaosSnapshotMidOutageBitIdentical(t *testing.T) {
+	sp := ChaosSpec(0.02)
+	sp.Horizon = 3600
+	sc, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 7
+	base, _ := NewRunContext().Run(sc, AdaptivePolicy(), seed, RunOptions{})
+
+	rc := NewRunContext()
+	w := rc.Setup(sc, AdaptivePolicy(), seed, RunOptions{})
+	inOutage := false
+	for probe := 60.0; probe <= sc.Horizon; probe += 60 {
+		w.RunUntil(probe)
+		if w.inj.ZonesDown() > 0 {
+			inOutage = true
+			break
+		}
+	}
+	if !inOutage {
+		t.Fatal("no zone went dark within the horizon — cannot snapshot mid-outage")
+	}
+	w.Snapshot()
+	w.RunUntil(sc.Horizon)
+	resA, _ := w.Finish()
+	w.Restore()
+	w.RunUntil(sc.Horizon)
+	resB, _ := w.Finish()
+	w.Release()
+	if !metrics.Equal(resA, resB) {
+		t.Fatalf("restore mid-outage diverged:\n%+v\n%+v", resA, resB)
+	}
+	if !metrics.Equal(resA, base) {
+		t.Fatalf("snapshotted run differs from plain run:\n%+v\n%+v", resA, base)
+	}
+	if resA.ZoneOutages == 0 {
+		t.Fatal("outage vanished from the result")
+	}
+}
+
+// TestChaosZeroDomainsPooledBitIdentical: a domain-free replication run
+// in a pooled context that previously ran a federated chaos replication
+// is bit-identical to a fresh-context run — the pooled federation leaks
+// nothing into non-federated runs, and a zero Domains block draws
+// nothing from the new substreams.
+func TestChaosZeroDomainsPooledBitIdentical(t *testing.T) {
+	chaosSpec := ChaosSpec(0.02)
+	chaosSpec.Horizon = 1800
+	chaosSc, err := chaosSpec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := Web(0.1)
+	plain.Horizon = 1800
+	zeroDomains := plain
+	zeroDomains.Fault = fault.Spec{ProvisionError: 0.05, BootMean: 20}
+	if zeroDomains.Fault.Domains != (fault.DomainSpec{}) {
+		t.Fatal("domains not zero")
+	}
+
+	fresh, _ := NewRunContext().Run(zeroDomains, AdaptivePolicy(), 42, RunOptions{})
+	rc := NewRunContext()
+	if res, _ := rc.Run(chaosSc, AdaptivePolicy(), 42, RunOptions{}); res.ZoneOutages == 0 {
+		t.Fatal("warm-up chaos run saw no outage")
+	}
+	pooled, _ := rc.Run(zeroDomains, AdaptivePolicy(), 42, RunOptions{})
+	if !metrics.Equal(fresh, pooled) {
+		t.Fatalf("pooled context after a federated run perturbed a domain-free run:\n%+v\n%+v", fresh, pooled)
+	}
+	if pooled.ZoneOutages != 0 || pooled.BreakerTrips != 0 || pooled.Shed != 0 {
+		t.Fatalf("domain metrics non-zero without domain faults: %+v", pooled)
+	}
+}
+
+// TestChaosConservationFaultFree: the request-conservation identity also
+// holds for a perfectly reliable run (arrived = served + rejected, with
+// nothing lost and anything unfinished in flight).
+func TestChaosConservationFaultFree(t *testing.T) {
+	sc := Web(0.1)
+	sc.Horizon = 1800
+	res, _ := NewRunContext().Run(sc, AdaptivePolicy(), 3, RunOptions{})
+	if err := CheckChaosInvariants(res, sc.Horizon); err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 {
+		t.Fatal("arrival accounting not wired")
+	}
+	if res.RequestsLost != 0 {
+		t.Fatalf("fault-free run lost %d requests", res.RequestsLost)
+	}
+}
+
+// FuzzChaosSchedule throws arbitrary failure-domain specs at a small
+// chaos scenario and checks that every valid spec yields a run that is a
+// pure function of its seed (bit-identical when repeated, including in a
+// reused pooled context) and satisfies the chaos invariants.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add(uint64(1), 900.0, 120.0, 1200.0, 90.0, 2.0, 0.2, 1500.0, 0.3)
+	f.Add(uint64(7), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(uint64(3), 300.0, 60.0, 600.0, 30.0, 4.0, 0.5, 400.0, 1.0)
+	f.Add(uint64(5), 0.0, 0.0, 800.0, 45.0, 3.0, 0.0, 0.0, 0.0)
+	base := ChaosSpec(0.01)
+	base.Horizon = 900
+	rc1, rc2 := NewRunContext(), NewRunContext()
+	f.Fuzz(func(t *testing.T, seed uint64,
+		outMTBF, outDur, brMTBF, brDur, brBoot, brErr, stMTBF, stKill float64) {
+		sp := base
+		sp.Fault.Domains = fault.DomainSpec{
+			Zones:    3,
+			Outage:   fault.OutageSpec{MTBF: outMTBF, Duration: outDur},
+			Brownout: fault.BrownoutSpec{MTBF: brMTBF, Duration: brDur, BootFactor: brBoot, ErrorProb: brErr},
+			Storm:    fault.StormSpec{MTBF: stMTBF, KillProb: stKill},
+		}
+		if sp.Fault.Domains.Outage.MTBF == 0 && sp.Fault.Domains.Storm.MTBF == 0 &&
+			sp.Fault.Domains.Brownout.MTBF == 0 {
+			sp.Fault.Domains.Zones = 0
+		}
+		sc, err := sp.Compile()
+		if err != nil {
+			t.Skip()
+		}
+		a, _ := rc1.Run(sc, AdaptivePolicy(), seed, RunOptions{})
+		b, _ := rc2.Run(sc, AdaptivePolicy(), seed, RunOptions{})
+		if !metrics.Equal(a, b) {
+			t.Fatalf("chaos run not deterministic:\n%+v\n%+v", a, b)
+		}
+		c, _ := rc1.Run(sc, AdaptivePolicy(), seed, RunOptions{})
+		if !metrics.Equal(a, c) {
+			t.Fatalf("pooled-context rerun differs:\n%+v\n%+v", a, c)
+		}
+		if err := CheckChaosInvariants(a, sc.Horizon); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

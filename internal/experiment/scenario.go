@@ -140,5 +140,8 @@ func (sc Scenario) Validate() error {
 	if err := sc.Fault.Validate(); err != nil {
 		return fmt.Errorf("experiment: scenario %q: %w", sc.Name, err)
 	}
+	if sc.Mode == ModeHybrid && !sc.Fault.Domains.IsZero() {
+		return fmt.Errorf("experiment: scenario %q: hybrid mode cannot fast-forward failure-domain faults; use exact mode", sc.Name)
+	}
 	return sc.Cfg.Validate()
 }

@@ -16,6 +16,7 @@ import (
 //	go run ./cmd/vmprovsim -dumpspec web-multi -reps 3 -seed 1 > examples/specs/web_multiclient_panel.json
 //	go run ./cmd/vmprovsim -dumpspec web-hybrid -reps 3 -seed 1 > examples/specs/web_hybrid_panel.json
 //	go run ./cmd/vmprovsim -dumpspec web-mpc -reps 3 -seed 1 > examples/specs/web_mpc_panel.json
+//	go run ./cmd/vmprovsim -dumpspec web-chaos -reps 3 -seed 1 > examples/specs/web_chaos_panel.json
 func TestGoldenSpecFiles(t *testing.T) {
 	cases := []struct {
 		file string
@@ -27,6 +28,7 @@ func TestGoldenSpecFiles(t *testing.T) {
 		{"web_multiclient_panel.json", func() (PanelSpec, error) { return MultiClientPanel(0, 3, 1) }},
 		{"web_hybrid_panel.json", func() (PanelSpec, error) { return HybridPanel(0, 3, 1) }},
 		{"web_mpc_panel.json", func() (PanelSpec, error) { return MPCPanel(0, 3, 1) }},
+		{"web_chaos_panel.json", func() (PanelSpec, error) { return ChaosPanel(0, 3, 1) }},
 	}
 	for _, c := range cases {
 		path := filepath.Join("..", "..", "examples", "specs", c.file)

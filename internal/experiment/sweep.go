@@ -33,6 +33,11 @@ type RunContext struct {
 	dc  *cloud.Datacenter
 	col *metrics.Collector
 
+	// fed is the pooled federated provider for failure-domain scenarios,
+	// built lazily on the first zoned replication and rewound — like dc —
+	// on reuse. Scenarios without domain zones never touch it.
+	fed *cloud.Federation
+
 	// snapPool recycles world snapshots across replications, so a
 	// model-predictive run's per-cycle snapshot costs no allocation once
 	// the pool is warm.
@@ -49,6 +54,26 @@ func NewRunContext() *RunContext {
 		dc:  dc,
 		col: metrics.NewCollector(1),
 	}
+}
+
+// federation returns the pooled federated provider spanning zones member
+// clouds, building it on first use and rewinding it (members included) on
+// reuse. The members split the paper's default data center evenly, so a
+// federated run offers the same total capacity as the single-cloud
+// default at every zone count that divides it.
+func (rc *RunContext) federation(zones int) *cloud.Federation {
+	if rc.fed != nil && rc.fed.Zones() == zones {
+		rc.fed.Reset()
+		return rc.fed
+	}
+	members := make([]*cloud.Datacenter, zones)
+	for i := range members {
+		m := cloud.New(cloud.DefaultHosts/zones, cloud.HostSpec{Cores: cloud.DefaultHostCores, RAMMB: cloud.DefaultHostRAM})
+		m.SetPowerModel(cloud.DefaultPowerModel())
+		members[i] = m
+	}
+	rc.fed = cloud.NewFederation(members...)
+	return rc.fed
 }
 
 // Run executes one seeded replication inside the pooled context. Results

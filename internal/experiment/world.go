@@ -32,6 +32,7 @@ type World struct {
 
 	s        *sim.Sim
 	dc       *cloud.Datacenter
+	fed      *cloud.Federation // non-nil when the scenario spans failure domains
 	col      *metrics.Collector
 	rng      *stats.RNG
 	inj      *fault.Injector
@@ -54,6 +55,7 @@ type worldSnap struct {
 	sim  sim.Snapshot
 	rng  stats.RNGSnap
 	dc   cloud.DCSnap
+	fed  cloud.FedSnap
 	inj  fault.InjSnap
 	prov provision.PSnap
 	col  metrics.CollectorSnap
@@ -72,20 +74,34 @@ func (rc *RunContext) Setup(sc Scenario, pol Policy, seed uint64, opts RunOption
 	}
 	s, dc, col := rc.s, rc.dc, rc.col
 	s.Reset()
-	dc.Reset()
-	dc.SetPlacement(sc.Placement)
+	// A scenario spanning failure domains runs against the pooled
+	// federation (one member cloud per zone) instead of the single default
+	// data center; everything else about assembly is unchanged.
+	var fed *cloud.Federation
+	if z := sc.Fault.Domains.Zones; z > 1 {
+		fed = rc.federation(z)
+		for i := 0; i < fed.Members(); i++ {
+			fed.Member(i).SetPlacement(sc.Placement)
+		}
+	} else {
+		dc.Reset()
+		dc.SetPlacement(sc.Placement)
+	}
 	col.Reset(sc.Cfg.QoS.Ts)
 	col.DeclareClients(sc.Clients)
 	col.TrackSeries = opts.TrackSeries
 	rng := stats.NewRNG(seed)
-	w := &World{rc: rc, sc: sc, pol: pol, s: s, dc: dc, col: col, rng: rng}
+	w := &World{rc: rc, sc: sc, pol: pol, s: s, dc: dc, fed: fed, col: col, rng: rng}
 	var provider cloud.Provider = dc
+	if fed != nil {
+		provider = fed
+	}
 	var fm provision.FaultModel
 	if !sc.Fault.IsZero() {
 		// Faults draw from their own substream — a pure function of
 		// (seed, "fault") — so enabling them leaves the workload stream,
 		// and therefore the arrival process, untouched.
-		inj := fault.New(dc, sc.Fault, rng.Split("fault"))
+		inj := fault.New(provider, sc.Fault, rng.Split("fault"))
 		provider, fm = inj, inj
 		w.inj = inj
 	}
@@ -94,6 +110,13 @@ func (rc *RunContext) Setup(sc Scenario, pol Policy, seed uint64, opts RunOption
 		p.SetFaultModel(fm)
 	}
 	w.p = p
+	if w.inj != nil && !sc.Fault.Domains.IsZero() {
+		// Correlated domain faults: the provisioner is the listener that
+		// crashes affected instances; the Markov processes schedule
+		// themselves from their own substreams.
+		w.inj.SetListener(p)
+		w.inj.StartDomains(s)
+	}
 
 	if opts.Tracer != nil {
 		p.SetTracer(opts.Tracer)
@@ -161,7 +184,11 @@ func (w *World) RunUntil(t float64) float64 { return w.s.RunUntil(t) }
 func (w *World) Finish() (metrics.Result, []metrics.SeriesPoint) {
 	w.p.Shutdown(w.sc.Horizon)
 	res := w.col.Result(w.pol.Name, w.sc.Horizon)
-	res.EnergyKWh = w.dc.EnergyKWh(w.sc.Horizon)
+	if w.fed != nil {
+		res.EnergyKWh = w.fed.EnergyKWh(w.sc.Horizon)
+	} else {
+		res.EnergyKWh = w.dc.EnergyKWh(w.sc.Horizon)
+	}
 	res.Events = w.s.Processed()
 	return res, w.col.Series
 }
@@ -190,7 +217,11 @@ func (w *World) Snapshot() {
 	}
 	w.s.Snapshot(&sn.sim)
 	w.rng.Snapshot(&sn.rng)
-	w.dc.Snapshot(&sn.dc)
+	if w.fed != nil {
+		w.fed.Snapshot(&sn.fed)
+	} else {
+		w.dc.Snapshot(&sn.dc)
+	}
 	if w.inj != nil {
 		w.inj.Snapshot(&sn.inj)
 	}
@@ -221,7 +252,11 @@ func (w *World) Restore() {
 	sn := w.stack[len(w.stack)-1]
 	w.s.Restore(&sn.sim)
 	w.rng.Restore(&sn.rng)
-	w.dc.Restore(&sn.dc)
+	if w.fed != nil {
+		w.fed.Restore(&sn.fed)
+	} else {
+		w.dc.Restore(&sn.dc)
+	}
 	if w.inj != nil {
 		w.inj.Restore(&sn.inj)
 	}

@@ -12,13 +12,20 @@
 //   - boot failures and a stochastic boot-time distribution (exponential
 //     mean with a slow-boot heavy tail) replacing the fixed BootDelay,
 //   - transient API errors on Provision and Release, surfaced as
-//     cloud.ErrTransient.
+//     cloud.ErrTransient,
+//   - correlated failure-domain faults (see DomainSpec): zone outages
+//     that take a whole federation member dark, API brownout windows of
+//     inflated boot times and elevated transient-error probability, and
+//     crash storms that kill a random subset of the fleet at once.
 //
-// All randomness is drawn from one seeded substream in simulation event
-// order, so a faulty run is exactly as deterministic as a clean one: a
-// pure function of (scenario, policy, seed), bit-identical across sweep
-// worker counts. An all-zero Spec injects nothing and draws nothing, so
-// fault-free runs are bit-identical to runs without the layer at all.
+// All randomness is drawn from seeded substreams in simulation event
+// order — the per-instance faults from one stream, each failure domain
+// from its own rng.Split substream — so a faulty run is exactly as
+// deterministic as a clean one: a pure function of (scenario, policy,
+// seed), bit-identical across sweep worker counts. An all-zero Spec
+// injects nothing and draws nothing, so fault-free runs are bit-identical
+// to runs without the layer at all; disabled domains never even derive
+// their substreams.
 package fault
 
 import (
@@ -26,6 +33,7 @@ import (
 	"math"
 
 	"vmprov/internal/cloud"
+	"vmprov/internal/sim"
 	"vmprov/internal/stats"
 )
 
@@ -54,6 +62,9 @@ type Spec struct {
 	// ReleaseError is the probability one Release call fails with a
 	// transient API error; the VM stays allocated until a retry lands.
 	ReleaseError float64 `json:"release_error,omitempty"`
+	// Domains declares correlated failure-domain faults: zone outages,
+	// API brownouts, and crash storms. The zero value disables them all.
+	Domains DomainSpec `json:"domains,omitzero"`
 }
 
 // IsZero reports whether the spec injects nothing.
@@ -96,7 +107,7 @@ func (sp Spec) Validate() error {
 	if math.IsInf(sp.SlowBootFactor, 1) || math.IsNaN(sp.SlowBootFactor) {
 		return fmt.Errorf("fault: SlowBootFactor %v must be finite", sp.SlowBootFactor)
 	}
-	return nil
+	return sp.Domains.validate()
 }
 
 // Injector wraps a cloud.Provider with fault injection and implements the
@@ -105,11 +116,25 @@ func (sp Spec) Validate() error {
 // matching the single-threaded simulation it runs in.
 type Injector struct {
 	inner cloud.Provider
+	zoned cloud.ZonedProvider // inner's zone view, nil when it has none
 	spec  Spec
 	rng   *stats.RNG
 
 	injectedProvisionErrs uint64
 	injectedReleaseErrs   uint64
+
+	// Failure-domain state (see domains.go). Substreams are derived only
+	// for enabled domains, so disabled ones draw nothing — ever.
+	sim         *sim.Sim
+	listener    DomainListener
+	zoneRNG     []*stats.RNG
+	brownoutRNG *stats.RNG
+	stormRNG    *stats.RNG
+	zoneDown    []bool
+	downSince   []float64
+	brownout    bool
+	brownouts   uint64
+	storms      uint64
 }
 
 // New wraps inner with fault injection per sp, drawing all randomness
@@ -119,31 +144,88 @@ func New(inner cloud.Provider, sp Spec, rng *stats.RNG) *Injector {
 	if err := sp.Validate(); err != nil {
 		panic(err)
 	}
-	return &Injector{inner: inner, spec: sp, rng: rng}
+	inj := &Injector{inner: inner, spec: sp, rng: rng}
+	inj.zoned, _ = inner.(cloud.ZonedProvider)
+	d := sp.Domains
+	if d.Outage.MTBF > 0 {
+		inj.zoneRNG = make([]*stats.RNG, d.Zones)
+		for i := range inj.zoneRNG {
+			inj.zoneRNG[i] = rng.Split(fmt.Sprintf("zone:%d", i))
+		}
+		inj.zoneDown = make([]bool, d.Zones)
+		inj.downSince = make([]float64, d.Zones)
+	}
+	if d.Brownout.MTBF > 0 {
+		inj.brownoutRNG = rng.Split("brownout")
+	}
+	if d.Storm.MTBF > 0 {
+		inj.stormRNG = rng.Split("storm")
+	}
+	return inj
+}
+
+// apiFault draws the transient-error gates that apply to one API call:
+// the brownout window's elevated error probability (from the brownout
+// substream) ahead of the baseline ProvisionError/ReleaseError rate (from
+// the per-instance stream, preserving its draw sequence exactly).
+func (inj *Injector) apiFault(rate float64) bool {
+	if inj.brownout {
+		if p := inj.spec.Domains.Brownout.ErrorProb; p > 0 && inj.brownoutRNG.Float64() < p {
+			return true
+		}
+	}
+	return rate > 0 && inj.rng.Float64() < rate
 }
 
 // Provision forwards to the wrapped provider unless a transient API error
 // is injected. Every probability gate draws only when its rate is
 // positive, so disabled fault classes consume no randomness.
 func (inj *Injector) Provision(now float64, spec cloud.VMSpec) (cloud.VM, error) {
-	if inj.spec.ProvisionError > 0 && inj.rng.Float64() < inj.spec.ProvisionError {
+	if inj.apiFault(inj.spec.ProvisionError) {
 		inj.injectedProvisionErrs++
 		return cloud.VM{}, fmt.Errorf("fault: injected Provision failure at t=%v: %w", now, cloud.ErrTransient)
 	}
 	return inj.inner.Provision(now, spec)
 }
 
+// ProvisionIn forwards a zone-targeted provision, implementing
+// cloud.ZonedProvider. A zone inside an outage window fails with
+// cloud.ErrZoneDown before any capacity or error-injection draw; when the
+// wrapped provider has no zone view the call degrades to Provision.
+func (inj *Injector) ProvisionIn(now float64, zone int, spec cloud.VMSpec) (cloud.VM, error) {
+	if zone >= 0 && zone < len(inj.zoneDown) && inj.zoneDown[zone] {
+		return cloud.VM{}, fmt.Errorf("fault: zone %d dark at t=%v: %w", zone, now, cloud.ErrZoneDown)
+	}
+	if inj.apiFault(inj.spec.ProvisionError) {
+		inj.injectedProvisionErrs++
+		return cloud.VM{}, fmt.Errorf("fault: injected Provision failure at t=%v: %w", now, cloud.ErrTransient)
+	}
+	if inj.zoned != nil {
+		return inj.zoned.ProvisionIn(now, zone, spec)
+	}
+	return inj.inner.Provision(now, spec)
+}
+
+// Zones reports the wrapped provider's failure-domain count (1 when it
+// has no zone view), implementing cloud.ZonedProvider.
+func (inj *Injector) Zones() int {
+	if inj.zoned != nil {
+		return inj.zoned.Zones()
+	}
+	return 1
+}
+
 // Release forwards to the wrapped provider unless a transient API error
 // is injected; on injection the VM remains allocated until a retry lands.
 func (inj *Injector) Release(now float64, id int) error {
-	if inj.spec.ReleaseError > 0 && inj.rng.Float64() < inj.spec.ReleaseError {
+	if inj.apiFault(inj.spec.ReleaseError) {
 		inj.injectedReleaseErrs++
 		return fmt.Errorf("fault: injected Release failure for VM %d at t=%v: %w", id, now, cloud.ErrTransient)
 	}
 	return inj.inner.Release(now, id)
 }
 
-var _ cloud.Provider = (*Injector)(nil)
+var _ cloud.ZonedProvider = (*Injector)(nil)
 
 // CrashAfter samples the time-to-failure of a freshly provisioned VM.
 // ok is false when crashes are disabled (no draw is consumed).
@@ -163,6 +245,11 @@ func (inj *Injector) Boot(base float64) (delay float64, fail bool) {
 	if inj.spec.BootMean > 0 {
 		delay = inj.rng.ExpFloat64() * inj.spec.BootMean
 	}
+	if inj.brownout {
+		if f := inj.spec.Domains.Brownout.BootFactor; f > 1 {
+			delay *= f
+		}
+	}
 	if inj.spec.SlowBootProb > 0 && inj.rng.Float64() < inj.spec.SlowBootProb {
 		delay *= inj.spec.SlowBootFactor
 	}
@@ -172,24 +259,44 @@ func (inj *Injector) Boot(base float64) (delay float64, fail bool) {
 	return delay, fail
 }
 
-// InjSnap holds one captured Injector state. The injector's RNG is a
-// substream of the replication's root stream, so it is captured by the
-// root stream-tree snapshot, not here.
+// InjSnap holds one captured Injector state: the error counters plus the
+// failure-domain state (which zones are dark, since when, whether a
+// brownout window is open). The injector's RNGs are substreams of the
+// replication's root stream, so they are captured by the root
+// stream-tree snapshot, not here; pending domain events live in the
+// kernel snapshot.
 type InjSnap struct {
 	provisionErrs uint64
 	releaseErrs   uint64
+	zoneDown      []bool
+	downSince     []float64
+	brownout      bool
+	brownouts     uint64
+	storms        uint64
 }
 
-// Snapshot captures the injector's error counters into snap.
+// Snapshot captures the injector's error counters and domain state into
+// snap, reusing snap's buffers.
 func (inj *Injector) Snapshot(snap *InjSnap) {
 	snap.provisionErrs = inj.injectedProvisionErrs
 	snap.releaseErrs = inj.injectedReleaseErrs
+	snap.zoneDown = append(snap.zoneDown[:0], inj.zoneDown...)
+	snap.downSince = append(snap.downSince[:0], inj.downSince...)
+	snap.brownout = inj.brownout
+	snap.brownouts = inj.brownouts
+	snap.storms = inj.storms
 }
 
-// Restore rewinds the injector's error counters to a captured state.
+// Restore rewinds the injector's error counters and domain state to a
+// captured state.
 func (inj *Injector) Restore(snap *InjSnap) {
 	inj.injectedProvisionErrs = snap.provisionErrs
 	inj.injectedReleaseErrs = snap.releaseErrs
+	copy(inj.zoneDown, snap.zoneDown)
+	copy(inj.downSince, snap.downSince)
+	inj.brownout = snap.brownout
+	inj.brownouts = snap.brownouts
+	inj.storms = snap.storms
 }
 
 // InjectedErrors reports how many transient Provision and Release errors

@@ -8,6 +8,19 @@ var (
 	ErrNoCap     = errors.New("no capacity")
 )
 
+// wrapped is a minimal error wrapper (the fixture harness cannot import
+// fmt for fmt.Errorf("%w", ...)).
+type wrapped struct{ err error }
+
+func (w wrapped) Error() string { return "zone dark: " + w.err.Error() }
+func (w wrapped) Unwrap() error { return w.err }
+
+// ErrZoneDark mirrors cloud.ErrZoneDown: a sentinel that itself wraps
+// another sentinel. Identity comparison must still be flagged — and is
+// doubly wrong, since a zone-down error reaching a caller is usually
+// wrapped yet again.
+var ErrZoneDark error = wrapped{ErrTransient}
+
 // ErrCount is not an error despite the Err prefix; comparing it stays
 // legal (false-positive guard).
 var ErrCount int
@@ -35,6 +48,15 @@ func Guards(err error) bool {
 		return true
 	}
 	return ErrCount == 3
+}
+
+// Failover exercises a wrapped-sentinel comparison (sentinel on the
+// left) and the reversed operand order.
+func Failover(err error) bool {
+	if ErrZoneDark == err { // want `comparing error to sentinel ErrZoneDark with == misses wrapped errors; use errors\.Is\(err, ErrZoneDark\)`
+		return true
+	}
+	return errors.Is(err, ErrZoneDark)
 }
 
 // Allowed documents the escape hatch.

@@ -25,6 +25,7 @@ func TestAddFluidWindowMatchesExactReplay(t *testing.T) {
 	var violated uint64
 	for i, o := range served {
 		start := float64(i)
+		exact.Arrive() // every request passes admission (Submit) first
 		exact.Complete(req(start-o.wait), start, start+o.exec)
 		// Mirror Complete's own response arithmetic bit for bit.
 		r := (start + o.exec) - (start - o.wait)
@@ -37,6 +38,7 @@ func TestAddFluidWindowMatchesExactReplay(t *testing.T) {
 		}
 	}
 	for i := 0; i < 3; i++ {
+		exact.Arrive()
 		exact.Reject(req(float64(i)))
 	}
 	exact.InstanceRetired(100, 7.0)

@@ -53,6 +53,23 @@ type Collector struct {
 	deficit     stats.TimeWeighted // target-deficit fraction over time
 	deficitSeen bool
 
+	// Correlated failure-domain accounting (the chaos extension; all
+	// zero without domain faults). arrived/inFlight/shed additionally
+	// feed the request-conservation invariant, so they are maintained in
+	// every run.
+	arrived           uint64  // fresh requests entering admission control
+	inFlight          uint64  // requests still queued/in service at shutdown
+	shed              uint64  // requests shed by degraded-mode admission
+	zoneOutages       uint64  // zone outage windows begun
+	zoneDownSum       float64 // Σ realized outage durations of closed windows
+	zonesDown         int     // zones currently dark
+	breakerTrips      uint64  // circuit breakers opened (incl. failed probes)
+	breakerRecoveries uint64  // circuit breakers closed after a probe
+	faultSeen         bool    // any disruption (crash or zone edge) observed
+	lastFaultT        float64 // time of the last disruption
+	inDeficit         bool    // the deficit signal is currently positive
+	healedAt          float64 // time the deficit last returned to zero
+
 	// Optional time series of the running-instance count, for plotting.
 	TrackSeries bool
 	Series      []SeriesPoint
@@ -117,6 +134,7 @@ type classStats struct {
 	rejected  uint64
 	displaced uint64
 	missed    uint64
+	shed      uint64
 	respSum   float64
 }
 
@@ -155,6 +173,11 @@ func (c *Collector) Reset(ts float64) {
 	c.repairs, c.repairSum = 0, 0
 	c.deficit = stats.TimeWeighted{}
 	c.deficitSeen = false
+	c.arrived, c.inFlight, c.shed = 0, 0, 0
+	c.zoneOutages, c.zoneDownSum, c.zonesDown = 0, 0, 0
+	c.breakerTrips, c.breakerRecoveries = 0, 0
+	c.faultSeen, c.lastFaultT = false, 0
+	c.inDeficit, c.healedAt = false, 0
 	c.TrackSeries = false
 	c.Series = c.Series[:0]
 }
@@ -188,6 +211,20 @@ type CollectorSnap struct {
 	repairSum   float64
 	deficit     stats.TimeWeighted
 	deficitSeen bool
+
+	arrived           uint64
+	inFlight          uint64
+	shed              uint64
+	zoneOutages       uint64
+	zoneDownSum       float64
+	zonesDown         int
+	breakerTrips      uint64
+	breakerRecoveries uint64
+	faultSeen         bool
+	lastFaultT        float64
+	inDeficit         bool
+	healedAt          float64
+
 	trackSeries bool
 	seriesLen   int
 }
@@ -225,6 +262,11 @@ func (c *Collector) Snapshot(snap *CollectorSnap) {
 	snap.repairs, snap.repairSum = c.repairs, c.repairSum
 	snap.deficit = c.deficit
 	snap.deficitSeen = c.deficitSeen
+	snap.arrived, snap.inFlight, snap.shed = c.arrived, c.inFlight, c.shed
+	snap.zoneOutages, snap.zoneDownSum, snap.zonesDown = c.zoneOutages, c.zoneDownSum, c.zonesDown
+	snap.breakerTrips, snap.breakerRecoveries = c.breakerTrips, c.breakerRecoveries
+	snap.faultSeen, snap.lastFaultT = c.faultSeen, c.lastFaultT
+	snap.inDeficit, snap.healedAt = c.inDeficit, c.healedAt
 	snap.trackSeries = c.TrackSeries
 	snap.seriesLen = len(c.Series)
 }
@@ -276,6 +318,11 @@ func (c *Collector) Restore(snap *CollectorSnap) {
 	c.repairs, c.repairSum = snap.repairs, snap.repairSum
 	c.deficit = snap.deficit
 	c.deficitSeen = snap.deficitSeen
+	c.arrived, c.inFlight, c.shed = snap.arrived, snap.inFlight, snap.shed
+	c.zoneOutages, c.zoneDownSum, c.zonesDown = snap.zoneOutages, snap.zoneDownSum, snap.zonesDown
+	c.breakerTrips, c.breakerRecoveries = snap.breakerTrips, snap.breakerRecoveries
+	c.faultSeen, c.lastFaultT = snap.faultSeen, snap.lastFaultT
+	c.inDeficit, c.healedAt = snap.inDeficit, snap.healedAt
 	c.TrackSeries = snap.trackSeries
 	c.Series = c.Series[:snap.seriesLen]
 }
@@ -371,6 +418,7 @@ type FluidWindow struct {
 // accounting, and the busy-seconds numerator of utilization — consistent
 // with a window-level bulk update.
 func (c *Collector) AddFluidWindow(w FluidWindow) {
+	c.arrived += w.Accepted + w.Rejected
 	c.accepted += w.Accepted
 	c.rejected += w.Rejected
 	c.violated += w.Violated
@@ -448,10 +496,70 @@ func (c *Collector) RepairDone(d float64) {
 
 // SetDeficit records the fleet's target-deficit fraction at time t:
 // max(0, target−committed)/target, the share of contracted capacity
-// currently missing. Its time-weighted average defines unavailability.
+// currently missing. Its time-weighted average defines unavailability,
+// and its positive→zero edges timestamp when the fleet healed (HealTime).
 func (c *Collector) SetDeficit(t, frac float64) {
 	c.deficit.Set(t, frac)
 	c.deficitSeen = true
+	if frac > 0 {
+		c.inDeficit = true
+	} else if c.inDeficit {
+		c.inDeficit = false
+		c.healedAt = t
+	}
+}
+
+// Arrive records one fresh request entering admission control. Crash
+// requeues re-enter through the internal path and are NOT re-counted, so
+// arrived = accepted + rejected + lost + in-flight holds exactly.
+func (c *Collector) Arrive() { c.arrived++ }
+
+// SetInFlight records, at shutdown, the requests still queued or in
+// service when the horizon cut the run (the conservation remainder).
+func (c *Collector) SetInFlight(n uint64) { c.inFlight = n }
+
+// Shed records one request dropped by degraded-mode admission. A shed
+// request is a rejection (it stays inside the rejected totals and rates)
+// tagged separately so the resilience report can attribute it.
+func (c *Collector) Shed(req workload.Request) {
+	c.rejected++
+	c.shed++
+	cs := c.class(req.Class)
+	cs.rejected++
+	cs.shed++
+	if req.Client != "" {
+		c.client(req.Client).rejected++
+	}
+}
+
+// ZoneOutage records one zone going dark.
+func (c *Collector) ZoneOutage() {
+	c.zoneOutages++
+	c.zonesDown++
+}
+
+// ZoneRestored records one zone healing after d seconds dark. Feeds the
+// per-domain MTTR.
+func (c *Collector) ZoneRestored(d float64) {
+	c.zoneDownSum += d
+	c.zonesDown--
+}
+
+// BreakerTrip records a zone circuit breaker opening (including a failed
+// half-open probe re-opening it).
+func (c *Collector) BreakerTrip() { c.breakerTrips++ }
+
+// BreakerRecover records a zone circuit breaker closing after a
+// successful half-open probe.
+func (c *Collector) BreakerRecover() { c.breakerRecoveries++ }
+
+// FaultAt timestamps a disruption (crash burst, zone edge) at time t.
+// The latest such timestamp anchors the bounded-heal-time invariant.
+func (c *Collector) FaultAt(t float64) {
+	c.faultSeen = true
+	if t > c.lastFaultT {
+		c.lastFaultT = t
+	}
 }
 
 // Result produces the final metrics for a run that ended at time end.
@@ -490,7 +598,25 @@ type Result struct {
 	MTTR               float64 // mean crash → replacement-active seconds (0 if no repair closed)
 	Availability       float64 // 1 − time-weighted target-deficit fraction
 
+	// Failure-domain metrics (the chaos extension). Arrived/InFlight/Shed
+	// are maintained in every run and close the request-conservation
+	// identity Arrived = Accepted + Rejected + RequestsLost + InFlight.
+	Arrived           uint64  // fresh requests offered to admission control
+	InFlight          uint64  // requests still queued or in service at the horizon
+	Shed              uint64  // rejections from degraded-mode admission (subset of Rejected)
+	ZoneOutages       uint64  // zone outage windows begun
+	ZoneMTTR          float64 // mean realized outage length of healed zones (0 if none healed)
+	ZonesDownAtEnd    int     // zones still dark when the horizon cut the run
+	BreakerTrips      uint64  // zone circuit breakers opened
+	BreakerRecoveries uint64  // zone circuit breakers closed by a successful probe
+	LastFaultT        float64 // time of the last disruption (0 if the run saw none)
+	HealTime          float64 // last disruption → deficit cleared, seconds; −1 if still unhealed
+
 	Events uint64 // kernel events executed during the run (throughput accounting)
+
+	// Classes breaks the run down per SLO/priority class, highest class
+	// first; nil when the run saw only class-0 traffic.
+	Classes []ClassResult
 
 	// Clients breaks the run down per client cohort (multi-client
 	// workloads), sorted by client name; nil for single-source runs.
@@ -512,11 +638,11 @@ type ClientResult struct {
 	MeanResponse  float64
 }
 
-// Equal reports whether two results are identical, per-client rows
-// included. It replaces == comparisons, which stopped compiling when
-// Result gained the Clients slice.
+// Equal reports whether two results are identical, per-client and
+// per-class rows included. It replaces == comparisons, which stopped
+// compiling when Result gained slice fields.
 func Equal(a, b Result) bool {
-	if len(a.Clients) != len(b.Clients) {
+	if len(a.Clients) != len(b.Clients) || len(a.Classes) != len(b.Classes) {
 		return false
 	}
 	for i := range a.Clients {
@@ -524,7 +650,13 @@ func Equal(a, b Result) bool {
 			return false
 		}
 	}
+	for i := range a.Classes {
+		if a.Classes[i] != b.Classes[i] {
+			return false
+		}
+	}
 	a.Clients, b.Clients = nil, nil
+	a.Classes, b.Classes = nil, nil
 	return reflect.DeepEqual(a, b)
 }
 
@@ -548,12 +680,34 @@ func (c *Collector) Result(policy string, end float64) Result {
 		RequestsRequeued:   c.requeued,
 		CapacityShortfalls: c.shortfalls,
 		Availability:       1,
+		Arrived:            c.arrived,
+		InFlight:           c.inFlight,
+		Shed:               c.shed,
+		ZoneOutages:        c.zoneOutages,
+		ZonesDownAtEnd:     c.zonesDown,
+		BreakerTrips:       c.breakerTrips,
+		BreakerRecoveries:  c.breakerRecoveries,
+		LastFaultT:         c.lastFaultT,
 	}
 	if c.repairs > 0 {
 		r.MTTR = c.repairSum / float64(c.repairs)
 	}
+	if healed := c.zoneOutages - uint64(c.zonesDown); healed > 0 {
+		r.ZoneMTTR = c.zoneDownSum / float64(healed)
+	}
+	if c.faultSeen {
+		switch {
+		case c.inDeficit:
+			r.HealTime = -1
+		case c.healedAt > c.lastFaultT:
+			r.HealTime = c.healedAt - c.lastFaultT
+		}
+	}
 	if c.deficitSeen {
 		r.Availability = 1 - c.deficit.Average(end)
+	}
+	if len(c.classes) > 0 {
+		r.Classes = c.ClassResults()
 	}
 	if c.accepted > 0 {
 		r.MeanExec = c.execSum / float64(c.accepted)
@@ -620,6 +774,7 @@ type ClassResult struct {
 	Accepted       uint64
 	Rejected       uint64
 	Displaced      uint64 // admitted then evicted by a higher class
+	Shed           uint64 // rejected by degraded-mode admission (subset of Rejected)
 	DeadlineMisses uint64
 	RejectionRate  float64
 	MeanResponse   float64
@@ -646,6 +801,7 @@ func classResult(class int, cs *classStats) ClassResult {
 		Accepted:       cs.accepted,
 		Rejected:       cs.rejected,
 		Displaced:      cs.displaced,
+		Shed:           cs.shed,
 		DeadlineMisses: cs.missed,
 	}
 	if cs.accepted > 0 {
@@ -723,6 +879,11 @@ func (r Result) String() string {
 		fmt.Fprintf(&b, " crashes=%d lost=%d requeued=%d retries=%d mttr=%.3gs avail=%.4f",
 			r.Crashes, r.RequestsLost, r.RequestsRequeued, r.Retries, r.MTTR, r.Availability)
 	}
+	// Failure-domain columns appear only when domain faults actually fired.
+	if r.ZoneOutages > 0 || r.BreakerTrips > 0 || r.Shed > 0 {
+		fmt.Fprintf(&b, " outages=%d zoneMTTR=%.3gs trips=%d shed=%d",
+			r.ZoneOutages, r.ZoneMTTR, r.BreakerTrips, r.Shed)
+	}
 	return b.String()
 }
 
@@ -740,6 +901,9 @@ func Aggregate(results []Result) Result {
 	var p50, p95, p99, maxResp float64
 	var acc, rejN, vio, ddl, evs float64
 	var crash, retr, lost, requeue, shortfall, mttr, avail float64
+	var arrived, inFlight, shedN, outages, zoneMTTR, zonesEnd, trips, recov, lastFault float64
+	var healSum float64
+	var healN, unhealed int
 	for _, r := range results {
 		minI += float64(r.MinInstances)
 		maxI += float64(r.MaxInstances)
@@ -767,6 +931,21 @@ func Aggregate(results []Result) Result {
 		shortfall += float64(r.CapacityShortfalls)
 		mttr += r.MTTR
 		avail += r.Availability
+		arrived += float64(r.Arrived)
+		inFlight += float64(r.InFlight)
+		shedN += float64(r.Shed)
+		outages += float64(r.ZoneOutages)
+		zoneMTTR += r.ZoneMTTR
+		zonesEnd += float64(r.ZonesDownAtEnd)
+		trips += float64(r.BreakerTrips)
+		recov += float64(r.BreakerRecoveries)
+		lastFault += r.LastFaultT
+		if r.HealTime >= 0 {
+			healSum += r.HealTime
+			healN++
+		} else {
+			unhealed++
+		}
 		if r.MaxResponse > maxResp {
 			maxResp = r.MaxResponse
 		}
@@ -798,8 +977,75 @@ func Aggregate(results []Result) Result {
 	agg.CapacityShortfalls = uint64(shortfall / n)
 	agg.MTTR = mttr / n
 	agg.Availability = avail / n
+	agg.Arrived = uint64(arrived / n)
+	agg.InFlight = uint64(inFlight / n)
+	agg.Shed = uint64(shedN / n)
+	agg.ZoneOutages = uint64(outages / n)
+	agg.ZoneMTTR = zoneMTTR / n
+	agg.ZonesDownAtEnd = int(math.Round(zonesEnd / n))
+	agg.BreakerTrips = uint64(trips / n)
+	agg.BreakerRecoveries = uint64(recov / n)
+	agg.LastFaultT = lastFault / n
+	// HealTime averages over healed replications; any unhealed replication
+	// pins the aggregate at −1 (the run set did not fully recover).
+	switch {
+	case unhealed > 0:
+		agg.HealTime = -1
+	case healN > 0:
+		agg.HealTime = healSum / float64(healN)
+	}
 	agg.Clients = aggregateClients(results)
+	agg.Classes = aggregateClasses(results)
 	return agg
+}
+
+// aggregateClasses merges per-class rows across replications by class,
+// averaging every scalar the way the run-level fields are averaged. Rows
+// sort highest class first, matching ClassResults.
+func aggregateClasses(results []Result) []ClassResult {
+	type acc struct {
+		accepted, rejected, displaced, shed, missed float64
+		rej, resp                                   float64
+	}
+	n := float64(len(results))
+	byClass := make(map[int]*acc)
+	var classes []int
+	for _, r := range results {
+		for _, cr := range r.Classes {
+			a := byClass[cr.Class]
+			if a == nil {
+				a = &acc{}
+				byClass[cr.Class] = a
+				classes = append(classes, cr.Class)
+			}
+			a.accepted += float64(cr.Accepted)
+			a.rejected += float64(cr.Rejected)
+			a.displaced += float64(cr.Displaced)
+			a.shed += float64(cr.Shed)
+			a.missed += float64(cr.DeadlineMisses)
+			a.rej += cr.RejectionRate
+			a.resp += cr.MeanResponse
+		}
+	}
+	if len(classes) == 0 {
+		return nil
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(classes)))
+	out := make([]ClassResult, 0, len(classes))
+	for _, class := range classes {
+		a := byClass[class]
+		out = append(out, ClassResult{
+			Class:          class,
+			Accepted:       uint64(a.accepted / n),
+			Rejected:       uint64(a.rejected / n),
+			Displaced:      uint64(a.displaced / n),
+			Shed:           uint64(a.shed / n),
+			DeadlineMisses: uint64(a.missed / n),
+			RejectionRate:  a.rej / n,
+			MeanResponse:   a.resp / n,
+		})
+	}
+	return out
 }
 
 // aggregateClients merges per-client rows across replications by client

@@ -57,6 +57,15 @@ type Config struct {
 	// (omitted from JSON) selects the defaults, so base scenario specs
 	// are unchanged.
 	Retry RetryPolicy `json:"retry,omitzero"`
+
+	// Breaker shapes the per-zone circuit breaker used when the provider
+	// spans multiple failure domains (a federation); the zero value
+	// selects the defaults. Without a multi-zone provider it is inert.
+	Breaker BreakerPolicy `json:"breaker,omitzero"`
+	// Shed enables degraded-mode admission: while the active fleet
+	// trails its target, arrivals of the lowest SLO classes are shed
+	// first (see ShedPolicy). The zero value disables shedding.
+	Shed ShedPolicy `json:"shed,omitzero"`
 }
 
 // RetryPolicy parameterizes the capped-exponential-backoff loop that
@@ -144,7 +153,13 @@ func (c Config) Validate() error {
 	if c.BootDelay < 0 {
 		return fmt.Errorf("provision: BootDelay must be non-negative, got %v", c.BootDelay)
 	}
-	return c.Retry.validate()
+	if err := c.Retry.validate(); err != nil {
+		return err
+	}
+	if err := c.Breaker.validate(); err != nil {
+		return err
+	}
+	return c.Shed.validate()
 }
 
 // Provisioner is the application provisioner: the single point of contact
@@ -193,6 +208,18 @@ type Provisioner struct {
 	retryFails   int
 	repairT      []float64
 
+	// Zone-aware failover state (multi-zone providers only; see
+	// resilience.go). zp is the provider's zone view, breakers holds one
+	// circuit breaker per zone, zoneCur rotates placement across healthy
+	// zones, and shedClasses enables degraded-mode admission.
+	zp             cloud.ZonedProvider
+	zones          int
+	zoneCur        int
+	breakers       []breaker
+	brk            BreakerPolicy
+	shedClasses    int
+	scratchVictims []*app.Instance // reused across correlated-crash sweeps
+
 	// onServed, when set, observes every completion after the built-in
 	// accounting — the hook composite pipelines chain stages with.
 	onServed func(app.Completion)
@@ -222,15 +249,24 @@ func NewProvisioner(s *sim.Sim, dc cloud.Provider, cfg Config, col *metrics.Coll
 	if cfg.VMSpec == (cloud.VMSpec{}) {
 		cfg.VMSpec = cloud.DefaultVMSpec()
 	}
-	return &Provisioner{
-		sim:     s,
-		dc:      dc,
-		cfg:     cfg,
-		k:       queueing.QueueSize(cfg.QoS.Ts, cfg.NominalTr),
-		col:     col,
-		monitor: stats.NewWindow(cfg.MonitorWindow),
-		retry:   cfg.Retry.withDefaults(),
+	p := &Provisioner{
+		sim:         s,
+		dc:          dc,
+		cfg:         cfg,
+		k:           queueing.QueueSize(cfg.QoS.Ts, cfg.NominalTr),
+		col:         col,
+		monitor:     stats.NewWindow(cfg.MonitorWindow),
+		retry:       cfg.Retry.withDefaults(),
+		brk:         cfg.Breaker.withDefaults(),
+		shedClasses: cfg.Shed.Classes,
 	}
+	if zp, ok := dc.(cloud.ZonedProvider); ok {
+		if n := zp.Zones(); n > 1 {
+			p.zp, p.zones = zp, n
+			p.breakers = make([]breaker, n)
+		}
+	}
+	return p
 }
 
 // SetFaultModel wires an injected fault environment (boot behavior and
@@ -291,13 +327,30 @@ func (p *Provisioner) fleetChanged() {
 // decisions, instance churn). Pass nil to disable.
 func (p *Provisioner) SetTracer(tr trace.Recorder) { p.tracer = tr }
 
-// Submit runs one request through admission control and dispatch. The
-// admission controller rejects a request only when every active instance
-// already holds k requests (Section IV); otherwise the request goes to
-// the next non-full active instance in round-robin order. The SLA
+// Submit runs one fresh arrival through admission control and dispatch.
+// The admission controller rejects a request only when every active
+// instance already holds k requests (Section IV); otherwise the request
+// goes to the next non-full active instance in round-robin order. The SLA
 // extension adds deadline-aware dispatch and priority displacement; with
 // the defaults both are inert.
+//
+// Every fresh arrival is counted exactly once here (crash requeues
+// re-enter through the internal path), so the conservation invariant
+// arrived = served + rejected + lost + in-flight is machine-checkable.
 func (p *Provisioner) Submit(req workload.Request) {
+	p.col.Arrive()
+	p.submit(req)
+}
+
+// submit is the admission/dispatch body shared by fresh arrivals and
+// crash requeues. Degraded-mode shedding (when enabled) runs first: a
+// fleet below its active target sheds the lowest classes outright to
+// keep the surviving capacity for the highest ones.
+func (p *Provisioner) submit(req workload.Request) {
+	if p.shedClasses > 0 && p.numActive < p.target && req.Class < p.shedCutoff() {
+		p.shedReq(req)
+		return
+	}
 	// Fast reject path: when no active instance has a free slot the scan
 	// below cannot accept, so skip it outright. The round-robin cursor is
 	// only advanced on acceptance, so short-circuiting a scan that would
@@ -568,11 +621,24 @@ func (p *Provisioner) provisionOne() (ok, retryable bool) {
 		p.col.CapacityShortfall()
 		return false, false
 	}
-	vm, err := p.dc.Provision(p.sim.Now(), p.cfg.VMSpec)
+	var (
+		vm  cloud.VM
+		err error
+	)
+	if p.zones > 1 {
+		vm, err = p.provisionZoned()
+	} else {
+		vm, err = p.dc.Provision(p.sim.Now(), p.cfg.VMSpec)
+	}
 	if err != nil {
 		// A transient API error is a fault, not a shortfall: the data
-		// center had room, the control plane just dropped the call.
-		if !errors.Is(err, cloud.ErrTransient) {
+		// center had room, the control plane just dropped the call. It is
+		// also a disruption — the heal clock restarts from it, so a
+		// brownout holding the fleet under target near the horizon cannot
+		// masquerade as a long-unhealed outage.
+		if errors.Is(err, cloud.ErrTransient) {
+			p.col.FaultAt(p.sim.Now())
+		} else {
 			p.CapacityShortfalls++
 			p.col.CapacityShortfall()
 		}
@@ -732,6 +798,7 @@ func (p *Provisioner) crash(in *app.Instance) {
 	p.sim.Cancel(in.CrashEv) // no-op when this crash IS that event
 	_, wasBusy, queued := in.Crash(now)
 	p.col.Crash()
+	p.col.FaultAt(now)
 	if wasBusy {
 		p.col.Lost()
 	}
@@ -754,8 +821,10 @@ func (p *Provisioner) crash(in *app.Instance) {
 	p.cancelRetry()
 	p.heal()
 	for _, q := range queued {
+		// A requeued request is not a fresh arrival — it was counted at
+		// its original Submit — so it re-enters through the internal path.
 		p.col.Requeue()
-		p.Submit(q)
+		p.submit(q)
 	}
 	p.trimRepairs()
 	p.noteDeficit()
@@ -835,11 +904,16 @@ func (p *Provisioner) scaleDown(excess int) {
 }
 
 // Shutdown finalizes accounting for instances still alive when the run
-// ends at time end, so VM hours and utilization cover the whole horizon.
+// ends at time end, so VM hours and utilization cover the whole horizon,
+// and records the requests still queued or in service as in-flight for
+// the conservation invariant.
 func (p *Provisioner) Shutdown(end float64) {
+	inFlight := 0
 	for _, in := range p.instances {
 		p.col.InstanceRetired(in.Lifetime(end), in.BusyNow(end))
+		inFlight += in.Len()
 	}
+	p.col.SetInFlight(uint64(inFlight))
 }
 
 // PSnap holds one captured Provisioner state: the fleet roster (instance
@@ -867,6 +941,9 @@ type PSnap struct {
 	retryBackoff float64
 	retryFails   int
 	repairT      []float64
+
+	zoneCur  int
+	breakers []breaker
 }
 
 // Snapshot captures the provisioner into snap, reusing its buffers.
@@ -893,6 +970,8 @@ func (p *Provisioner) Snapshot(snap *PSnap) {
 	snap.retryBackoff = p.retryBackoff
 	snap.retryFails = p.retryFails
 	snap.repairT = append(snap.repairT[:0], p.repairT...)
+	snap.zoneCur = p.zoneCur
+	snap.breakers = append(snap.breakers[:0], p.breakers...)
 }
 
 // Restore rewinds the provisioner to a captured state. Instances live at
@@ -917,4 +996,6 @@ func (p *Provisioner) Restore(snap *PSnap) {
 	p.retryBackoff = snap.retryBackoff
 	p.retryFails = snap.retryFails
 	p.repairT = append(p.repairT[:0], snap.repairT...)
+	p.zoneCur = snap.zoneCur
+	copy(p.breakers, snap.breakers)
 }

@@ -42,13 +42,27 @@ func Markdown(m Meta, results []metrics.Result, series []metrics.SeriesPoint) st
 	b.WriteString("\n")
 
 	if anyFaults(results) {
+		chaos := anyChaos(results)
 		b.WriteString("## Resilience\n\n")
-		b.WriteString("| policy | crashes | lost | requeued | retries | MTTR | availability |\n")
-		b.WriteString("|---|---|---|---|---|---|---|\n")
+		if chaos {
+			b.WriteString("| policy | crashes | lost | requeued | retries | MTTR | outages | zone MTTR | trips | shed | availability |\n")
+			b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|\n")
+		} else {
+			b.WriteString("| policy | crashes | lost | requeued | retries | MTTR | availability |\n")
+			b.WriteString("|---|---|---|---|---|---|---|\n")
+		}
 		for _, r := range results {
-			fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %s | %.4f%% |\n",
-				r.Policy, r.Crashes, r.RequestsLost, r.RequestsRequeued,
-				r.Retries, fmtDuration(r.MTTR), 100*r.Availability)
+			if chaos {
+				fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %s | %d | %s | %d | %d | %.4f%% |\n",
+					r.Policy, r.Crashes, r.RequestsLost, r.RequestsRequeued,
+					r.Retries, fmtDuration(r.MTTR), r.ZoneOutages,
+					fmtDuration(r.ZoneMTTR), r.BreakerTrips, r.Shed,
+					100*r.Availability)
+			} else {
+				fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %s | %.4f%% |\n",
+					r.Policy, r.Crashes, r.RequestsLost, r.RequestsRequeued,
+					r.Retries, fmtDuration(r.MTTR), 100*r.Availability)
+			}
 		}
 		b.WriteString("\n")
 	}
@@ -72,6 +86,19 @@ func Markdown(m Meta, results []metrics.Result, series []metrics.SeriesPoint) st
 func anyFaults(results []metrics.Result) bool {
 	for _, r := range results {
 		if r.Crashes > 0 || r.RequestsLost > 0 || r.Retries > 0 {
+			return true
+		}
+	}
+	return anyChaos(results)
+}
+
+// anyChaos reports whether any result saw correlated failure-domain
+// activity (zone outages, breaker trips, or load shedding); only then
+// does the Resilience table grow the domain columns, so host-fault-only
+// reports keep their narrower layout.
+func anyChaos(results []metrics.Result) bool {
+	for _, r := range results {
+		if r.ZoneOutages > 0 || r.BreakerTrips > 0 || r.Shed > 0 {
 			return true
 		}
 	}

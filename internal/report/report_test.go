@@ -63,6 +63,45 @@ func TestHeadlineNoRival(t *testing.T) {
 	}
 }
 
+func TestResilienceTableLayouts(t *testing.T) {
+	meta := Meta{Title: "t", Scenario: "s", Scale: 1, Horizon: 10, Reps: 1}
+
+	// No fault activity at all: no Resilience section.
+	md := Markdown(meta, sampleResults(), nil)
+	if strings.Contains(md, "## Resilience") {
+		t.Fatalf("fault-free report grew a Resilience section:\n%s", md)
+	}
+
+	// Host faults only: the narrow pre-chaos layout.
+	faulty := sampleResults()
+	faulty[0].Crashes = 3
+	faulty[0].MTTR = 42
+	faulty[0].Availability = 0.999
+	md = Markdown(meta, faulty, nil)
+	if !strings.Contains(md, "| policy | crashes | lost | requeued | retries | MTTR | availability |") {
+		t.Fatalf("host-fault report lost the narrow Resilience layout:\n%s", md)
+	}
+	if strings.Contains(md, "zone MTTR") {
+		t.Fatalf("host-fault report grew chaos columns:\n%s", md)
+	}
+
+	// Failure-domain activity: the wide layout with the domain columns,
+	// even when no host ever crashed.
+	chaotic := sampleResults()
+	chaotic[0].ZoneOutages = 4
+	chaotic[0].ZoneMTTR = 180
+	chaotic[0].BreakerTrips = 2
+	chaotic[0].Shed = 57
+	chaotic[0].Availability = 0.998
+	md = Markdown(meta, chaotic, nil)
+	if !strings.Contains(md, "| policy | crashes | lost | requeued | retries | MTTR | outages | zone MTTR | trips | shed | availability |") {
+		t.Fatalf("chaos report missing the failure-domain columns:\n%s", md)
+	}
+	if !strings.Contains(md, "| 4 | 180s | 2 | 57 | 99.8000% |") {
+		t.Fatalf("chaos row not rendered:\n%s", md)
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	series := []metrics.SeriesPoint{{T: 0, N: 1}, {T: 50, N: 10}, {T: 100, N: 5}}
 	s := Sparkline(series, 20)

@@ -302,10 +302,14 @@ type ClientSpec struct {
 	RateFraction float64 `json:"rate_fraction"`
 	// SLOClass groups this client's results in per-class report rows
 	// ("interactive", "batch", ...); purely a reporting label.
-	SLOClass string      `json:"slo_class,omitempty"`
-	Arrival  ArrivalSpec `json:"arrival"`
-	Size     SizeSpec    `json:"size"`
-	Pattern  PatternSpec `json:"pattern,omitzero"`
+	SLOClass string `json:"slo_class,omitempty"`
+	// Class is the numeric priority/SLO class stamped on every request
+	// this client emits (0 = lowest, the default). Unlike SLOClass it is
+	// behavioral: SLA scheduling and degraded-mode shedding key off it.
+	Class   int         `json:"class,omitempty"`
+	Arrival ArrivalSpec `json:"arrival"`
+	Size    SizeSpec    `json:"size"`
+	Pattern PatternSpec `json:"pattern,omitzero"`
 }
 
 func (c ClientSpec) validate() error {
@@ -314,6 +318,9 @@ func (c ClientSpec) validate() error {
 	}
 	if c.RateFraction <= 0 {
 		return fmt.Errorf("client %q needs rate_fraction > 0, got %v", c.Name, c.RateFraction)
+	}
+	if c.Class < 0 {
+		return fmt.Errorf("client %q needs class >= 0, got %d", c.Name, c.Class)
 	}
 	if err := c.Arrival.validate(); err != nil {
 		return fmt.Errorf("client %q: %w", c.Name, err)
@@ -441,8 +448,9 @@ func (rs *RenewalSource) Restore(store any) { rs.ids = store.(*counterSnap).ids 
 // compiledClient pairs a client's identity with its fresh per-replication
 // source.
 type compiledClient struct {
-	info ClientInfo
-	src  Source
+	info  ClientInfo
+	class int
+	src   Source
 }
 
 // MultiSource merges several client cohorts into one arrival stream.
@@ -496,8 +504,9 @@ func NewMultiSource(aggregate float64, clients []ClientSpec) (*MultiSource, erro
 			}
 		}
 		ms.clients = append(ms.clients, compiledClient{
-			info: ClientInfo{Name: c.Name, SLOClass: c.SLOClass},
-			src:  src,
+			info:  ClientInfo{Name: c.Name, SLOClass: c.SLOClass},
+			class: c.Class,
+			src:   src,
 		})
 	}
 	return ms, nil
@@ -532,9 +541,10 @@ func (m *MultiSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 		if !single {
 			cr = r.Split("client:" + c.info.Name)
 		}
-		name := c.info.Name
+		name, class := c.info.Name, c.class
 		c.src.Start(s, cr, func(q Request) {
 			q.Client = name
+			q.Class = class
 			emit(q)
 		})
 	}

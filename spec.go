@@ -62,6 +62,17 @@ type (
 	// RetryPolicy shapes the provisioner's self-healing retry/backoff
 	// loop; the zero value selects the defaults.
 	RetryPolicy = provision.RetryPolicy
+	// BreakerPolicy shapes the per-zone circuit breaker used over
+	// multi-zone providers; the zero value selects the defaults.
+	BreakerPolicy = provision.BreakerPolicy
+	// ShedPolicy enables degraded-mode admission shedding of the lowest
+	// SLO classes; the zero value disables it.
+	ShedPolicy = provision.ShedPolicy
+	// DomainSpec declares correlated failure domains (zone outages, API
+	// brownouts, crash storms); the zero value disables them.
+	DomainSpec = fault.DomainSpec
+	// ChaosTier is one rung of the chaos panel's fault-intensity ladder.
+	ChaosTier = experiment.ChaosTier
 	// Mode selects how replications execute: exact discrete-event
 	// simulation, or hybrid analytical fast-forward between scaling
 	// decisions.
@@ -125,6 +136,33 @@ func HybridPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
 func MPCPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
 	return experiment.MPCPanel(scale, reps, seed)
 }
+
+// ChaosScenarioSpec returns the declarative form of the built-in chaos
+// scenario: a three-class web workload on a three-zone federation with
+// circuit breaking and degraded-mode shedding, under correlated zone
+// outages, API brownouts, and crash storms.
+func ChaosScenarioSpec(scale float64) ScenarioSpec { return experiment.ChaosSpec(scale) }
+
+// ChaosPanel returns the built-in chaos panel: the chaos scenario swept
+// up a fault-intensity ladder (brownout → outage → storm) under the
+// adaptive policy.
+func ChaosPanel(scale float64, reps int, seed uint64) (PanelSpec, error) {
+	return experiment.ChaosPanel(scale, reps, seed)
+}
+
+// ChaosTiers returns the chaos panel's fault-intensity ladder.
+func ChaosTiers() []ChaosTier { return experiment.ChaosTiers() }
+
+// CheckChaosInvariants verifies the machine-checked invariants of one
+// chaos replication (request conservation, range checks, bounded heal
+// time, shed ordering); it returns the first violation, or nil.
+func CheckChaosInvariants(res Result, horizon float64) error {
+	return experiment.CheckChaosInvariants(res, horizon)
+}
+
+// ChaosHealBound is the chaos invariant's bound on post-disruption heal
+// time, in simulated seconds.
+const ChaosHealBound = experiment.ChaosHealBound
 
 // ParsePanelSpec strictly decodes a JSON panel spec (unknown fields are
 // errors).
