@@ -17,7 +17,7 @@ MPCTMP    ?= /tmp/BENCH_mpc_fresh.json
 CHAOSOUT  ?= BENCH_chaos.json
 CHAOSTMP  ?= /tmp/BENCH_chaos_fresh.json
 
-.PHONY: ci fmt vet lint build test race sweep-race fault-smoke chaos-smoke fuzz bench-smoke sweep-smoke spec-roundtrip ff-smoke snapshot-smoke bench bench-sweep bench-compare bench-ff bench-mpc bench-chaos golden
+.PHONY: ci fmt vet lint lint-baseline build test race sweep-race fault-smoke chaos-smoke fuzz bench-smoke sweep-smoke spec-roundtrip ff-smoke snapshot-smoke bench bench-sweep bench-compare bench-ff bench-mpc bench-chaos golden
 
 ci: fmt vet lint build race sweep-race fault-smoke chaos-smoke fuzz bench-smoke sweep-smoke spec-roundtrip ff-smoke snapshot-smoke
 
@@ -32,12 +32,24 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# vmprovlint: the project's determinism and correctness multichecker
-# (simclock, seededrand, maporder, errcmp, hotclosure + lite
-# nilness/shadow/copylocks). One gate over the whole tree; suppress a
-# finding case by case with `//vmprov:allow <analyzer> -- <reason>`.
+# vmprovlint v2: the project's determinism and correctness multichecker
+# — the five v1 per-package passes (simclock, seededrand, maporder,
+# errcmp, hotclosure), the four v2 whole-program invariant passes
+# (snapshotfield, splitkey, specstrict, registry), and the lite
+# nilness/shadow/copylocks stock passes. One gate over the whole tree;
+# `make ci` fails on any finding that is neither suppressed in source
+# (`//vmprov:allow <analyzer> -- <reason>`) nor recorded in the
+# committed baseline. SARIF output: $(GO) run ./cmd/vmprovlint -sarif ./...
+LINTBASE ?= lint_baseline.json
+
 lint:
-	$(GO) run ./cmd/vmprovlint ./...
+	$(GO) run ./cmd/vmprovlint -baseline $(LINTBASE) ./...
+
+# Re-pin the committed baseline to the tree's current findings. Only for
+# adopting a new analyzer with pre-existing debt — never to silence a
+# finding your change introduced.
+lint-baseline:
+	$(GO) run ./cmd/vmprovlint -write-baseline $(LINTBASE) ./...
 
 build:
 	$(GO) build ./...

@@ -46,8 +46,8 @@ var ErrZoneDown = fmt.Errorf("cloud: zone unavailable: %w", ErrTransient)
 
 // HostSpec describes one physical machine.
 type HostSpec struct {
-	Cores int
-	RAMMB int
+	Cores int `json:"cores"`
+	RAMMB int `json:"ram_mb"`
 }
 
 // VMSpec describes the resources one VM instance consumes and its relative
@@ -132,7 +132,7 @@ type Datacenter struct {
 	nextID    int
 	placed    map[int]VM
 	power     *powerMeter // nil = energy metering disabled
-	placement Placement
+	placement Placement   //vmprov:ephemeral -- run-scope policy config set before the first placement; Reset/Restore deliberately preserve it
 	rrCursor  int
 }
 

@@ -125,8 +125,8 @@ type Injector struct {
 
 	// Failure-domain state (see domains.go). Substreams are derived only
 	// for enabled domains, so disabled ones draw nothing — ever.
-	sim         *sim.Sim
-	listener    DomainListener
+	sim         *sim.Sim       //vmprov:ephemeral -- kernel handle wired by StartDomains; pending domain events live in the kernel snapshot
+	listener    DomainListener //vmprov:ephemeral -- observer wiring, not replication state
 	zoneRNG     []*stats.RNG
 	brownoutRNG *stats.RNG
 	stormRNG    *stats.RNG
@@ -150,6 +150,7 @@ func New(inner cloud.Provider, sp Spec, rng *stats.RNG) *Injector {
 	if d.Outage.MTBF > 0 {
 		inj.zoneRNG = make([]*stats.RNG, d.Zones)
 		for i := range inj.zoneRNG {
+			//vmprov:allow splitkey -- per-zone substreams; unique by construction over the zone index
 			inj.zoneRNG[i] = rng.Split(fmt.Sprintf("zone:%d", i))
 		}
 		inj.zoneDown = make([]bool, d.Zones)

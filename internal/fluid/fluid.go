@@ -124,10 +124,11 @@ type Engine struct {
 	cfg      Config
 	fleet    Fleet
 	col      *metrics.Collector
-	ts       float64 // QoS response threshold, for violation capture
-	tick     workload.Ticker
-	interval float64
-	res      *stats.RNG // Bernoulli residual-rounding stream
+	ts       float64         // QoS response threshold, for violation capture
+	tick     workload.Ticker //vmprov:ephemeral -- wired once in Start before the first tick, constant for the run
+	interval float64         //vmprov:ephemeral -- wired once in Start before the first tick, constant for the run
+	// res is the Bernoulli residual-rounding stream.
+	res *stats.RNG //vmprov:ephemeral -- substream state is captured by the root RNG stream-tree snapshot
 
 	probing      bool
 	probeOffered int  // requests emitted into the open probe window

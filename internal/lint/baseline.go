@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline support: a committed JSON inventory of known findings lets
+// the suite grow a new analyzer without blocking CI on a backlog — new
+// code is held to the full standard while pre-existing findings are
+// burned down deliberately. An entry matches on (analyzer, relative
+// file, message) and deliberately ignores line numbers, so unrelated
+// edits above a baselined finding do not resurrect it.
+
+// BaselineEntry identifies one tolerated finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// baselineKey is the identity a diagnostic is matched on.
+func baselineKey(d Diagnostic, root string) string {
+	return d.Analyzer + "\x00" + relPath(root, d.Pos.Filename) + "\x00" + d.Message
+}
+
+// WriteBaseline writes the diagnostics as a sorted, deduplicated
+// baseline file with paths relative to root.
+func WriteBaseline(path string, diags []Diagnostic, root string) error {
+	seen := map[BaselineEntry]bool{}
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		e := BaselineEntry{Analyzer: d.Analyzer, File: relPath(root, d.Pos.Filename), Message: d.Message}
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: the
+// caller asked to filter against a baseline that does not exist, which
+// would otherwise silently behave as "no baseline".
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// FilterBaseline drops diagnostics covered by the baseline entries and
+// returns the rest in order.
+func FilterBaseline(diags []Diagnostic, entries []BaselineEntry, root string) []Diagnostic {
+	if len(entries) == 0 {
+		return diags
+	}
+	tolerated := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		tolerated[e.Analyzer+"\x00"+e.File+"\x00"+e.Message] = true
+	}
+	kept := diags[:0:0]
+	for _, d := range diags {
+		if !tolerated[baselineKey(d, root)] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// relPath renders file relative to root when possible, with forward
+// slashes so baselines are portable across checkouts.
+func relPath(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}

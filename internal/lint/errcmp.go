@@ -14,6 +14,12 @@ import (
 // every wrapped instance and a retry path silently treats a transient
 // error as fatal. errors.Is matches through wrapping and is the only
 // correct comparison.
+//
+// Two shapes are deliberately exempt: comparisons against nil (presence
+// tests, not identity matching), and comparisons involving a variable
+// that is the target of an errors.As call in the same file —
+// errors.As already unwrapped, so identity on its target is exact by
+// design.
 var ErrCmpAnalyzer = &Analyzer{
 	Name: "errcmp",
 	Doc: "flag ==/!= against Err* sentinel errors; use errors.Is so wrapped errors " +
@@ -23,10 +29,17 @@ var ErrCmpAnalyzer = &Analyzer{
 
 func runErrCmp(pass *Pass) {
 	for _, f := range pass.Files {
+		asTargets := errorsAsTargets(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.BinaryExpr:
 				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilExpr(pass, n.X) || isNilExpr(pass, n.Y) {
+					return true
+				}
+				if isAsTarget(pass, asTargets, n.X) || isAsTarget(pass, asTargets, n.Y) {
 					return true
 				}
 				if name, ok := sentinelError(pass, n.X); ok {
@@ -66,6 +79,59 @@ func reportErrCmp(pass *Pass, pos token.Pos, op token.Token, name string) {
 		verb = "!" + verb
 	}
 	pass.Reportf(pos, "comparing error to sentinel %s with %s misses wrapped errors; use %s", name, op, verb)
+}
+
+// isNilExpr reports whether the expression is the predeclared nil.
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// errorsAsTargets collects the objects passed by address as the second
+// argument of an errors.As call anywhere in the file.
+func errorsAsTargets(pass *Pass, f *ast.File) map[types.Object]bool {
+	var out map[types.Object]bool
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "As" || packageRef(pass.TypesInfo, sel.X) != "errors" {
+			return true
+		}
+		un, ok := ast.Unparen(call.Args[1]).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return true
+		}
+		if id, ok := ast.Unparen(un.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if out == nil {
+					out = map[types.Object]bool{}
+				}
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isAsTarget reports whether the expression resolves to a variable
+// registered as an errors.As target.
+func isAsTarget(pass *Pass, targets map[types.Object]bool, e ast.Expr) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return targets[pass.TypesInfo.Uses[id]]
 }
 
 // sentinelError reports whether the expression denotes a package-level

@@ -39,7 +39,12 @@ import (
 )
 
 // Analyzer is one named check over a type-checked package, mirroring
-// golang.org/x/tools/go/analysis.Analyzer in miniature.
+// golang.org/x/tools/go/analysis.Analyzer in miniature. An analyzer is
+// either package-scoped (Run set) or whole-program (RunModule set): the
+// v2 invariants — globally unique rng.Split keys, registry name
+// uniqueness, Validate() reachability across package boundaries — are
+// properties of the module, not of any one package, so they run once
+// over the full loaded package set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //vmprov:allow suppression comments.
@@ -47,14 +52,18 @@ type Analyzer struct {
 	// Doc is the one-paragraph description printed by vmprovlint -list.
 	Doc string
 	// AppliesTo gates the analyzer by package import path; nil means
-	// the analyzer runs on every package.
+	// the analyzer runs on every package. For module analyzers it
+	// filters which packages contribute syntax to the pass.
 	AppliesTo func(pkgPath string) bool
 	// SkipTestFiles excludes _test.go files from the analyzer's view
 	// (timing harnesses and table tests legitimately break several of
 	// the simulation invariants).
 	SkipTestFiles bool
-	// Run inspects the package and reports findings through the pass.
+	// Run inspects one package and reports findings through the pass.
+	// Exactly one of Run and RunModule is set.
 	Run func(*Pass)
+	// RunModule inspects the whole loaded package set at once.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one package's syntax and type information through an
@@ -90,8 +99,35 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full vmprovlint suite: the five domain-specific
-// determinism analyzers plus the three stock-style correctness passes
+// ModulePass carries the whole loaded package set through one module
+// analyzer run. Pkgs is already filtered per AppliesTo, and each
+// package's file list per SkipTestFiles (see FilesOf).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Fset     *token.FileSet
+
+	files map[*Package][]*ast.File
+	diags *[]Diagnostic
+}
+
+// FilesOf returns the analyzer's view of one package's files (test
+// files already dropped when the analyzer asks for that).
+func (p *ModulePass) FilesOf(pkg *Package) []*ast.File { return p.files[pkg] }
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full vmprovlint suite: the nine domain-specific
+// determinism and invariant analyzers (v1's five per-package passes
+// plus v2's snapshot-coverage, RNG-substream, spec-strictness, and
+// registry-hygiene passes) and the three stock-style correctness passes
 // (local reduced-scope implementations of their x/tools namesakes).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -100,6 +136,10 @@ func Analyzers() []*Analyzer {
 		MapOrderAnalyzer,
 		ErrCmpAnalyzer,
 		HotClosureAnalyzer,
+		SnapshotFieldAnalyzer,
+		SplitKeyAnalyzer,
+		SpecStrictAnalyzer,
+		RegistryAnalyzer,
 		NilnessAnalyzer,
 		ShadowAnalyzer,
 		CopyLocksAnalyzer,
@@ -116,9 +156,12 @@ func AnalyzerByName(name string) (*Analyzer, bool) {
 	return nil, false
 }
 
-// RunAnalyzer applies one analyzer to a loaded package and returns its
-// raw (unsuppressed) diagnostics.
+// RunAnalyzer applies one package-scoped analyzer to a loaded package
+// and returns its raw (unsuppressed) diagnostics.
 func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	if a.Run == nil {
+		return nil
+	}
 	if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 		return nil
 	}
@@ -139,16 +182,76 @@ func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
 	return diags
 }
 
-// Run applies the given analyzers to the package, drops suppressed
-// findings, and returns the rest ordered by position.
-func Run(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+// RunModuleAnalyzer applies one whole-program analyzer to the loaded
+// package set and returns its raw (unsuppressed) diagnostics. Packages
+// outside the analyzer's AppliesTo gate are dropped from the pass
+// entirely.
+func RunModuleAnalyzer(a *Analyzer, pkgs []*Package) []Diagnostic {
+	if a.RunModule == nil {
+		return nil
+	}
+	var kept []*Package
+	files := map[*Package][]*ast.File{}
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		fs := pkg.Syntax
+		if a.SkipTestFiles {
+			fs = nonTestFiles(pkg.Fset, fs)
+		}
+		kept = append(kept, pkg)
+		files[pkg] = fs
+		fset = pkg.Fset
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	a.RunModule(&ModulePass{
+		Analyzer: a,
+		Pkgs:     kept,
+		Fset:     fset,
+		files:    files,
+		diags:    &diags,
+	})
+	return diags
+}
+
+// RunRaw applies the given analyzers — package-scoped per package,
+// module-scoped once over the whole set — and returns every diagnostic
+// BEFORE //vmprov:allow suppression, ordered by position. The
+// stale-suppression audit rests on this view: an allow comment is live
+// only if it covers at least one raw finding.
+func RunRaw(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 	var all []Diagnostic
 	for _, a := range analyzers {
-		all = append(all, RunAnalyzer(a, pkg)...)
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				all = append(all, RunAnalyzer(a, pkg)...)
+			}
+		}
+		all = append(all, RunModuleAnalyzer(a, pkgs)...)
 	}
-	all = filterSuppressed(pkg, all)
 	SortDiagnostics(all)
 	return all
+}
+
+// RunPackages applies the given analyzers to the loaded package set,
+// drops suppressed findings, and returns the rest ordered by position.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	all := RunRaw(analyzers, pkgs)
+	all = filterSuppressedAll(pkgs, all)
+	SortDiagnostics(all)
+	return all
+}
+
+// Run applies the given analyzers to one package (treating it as the
+// whole module for any module-scoped analyzer), drops suppressed
+// findings, and returns the rest ordered by position.
+func Run(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	return RunPackages(analyzers, []*Package{pkg})
 }
 
 // SortDiagnostics orders findings by file, line, column, analyzer.
@@ -164,7 +267,10 @@ func SortDiagnostics(diags []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }
 
@@ -174,6 +280,16 @@ func SortDiagnostics(diags []Diagnostic) {
 func pathGate(names ...string) func(string) bool {
 	re := regexp.MustCompile(`(^|/)internal/(` + strings.Join(names, "|") + `)(/|$)`)
 	return re.MatchString
+}
+
+// withModuleRoot widens a path gate to also match the module root
+// package — the facade files (composite.go, sla.go, tracing.go, ...)
+// re-export simulation machinery and live under the same determinism
+// contract as the internal packages they front.
+func withModuleRoot(gate func(string) bool) func(string) bool {
+	return func(path string) bool {
+		return path == "vmprov" || gate(path)
+	}
 }
 
 // isTestFile reports whether the file's name ends in _test.go.

@@ -189,10 +189,5 @@ func LoadAndRun(analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) 
 	if err != nil {
 		return nil, err
 	}
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		all = append(all, Run(analyzers, pkg)...)
-	}
-	SortDiagnostics(all)
-	return all, nil
+	return RunPackages(analyzers, pkgs), nil
 }

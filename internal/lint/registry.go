@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RegistryAnalyzer enforces name-registry hygiene module-wide. The
+// scenario, policy, workload, and placement registries are the
+// program's declarative surface: `vmprovsim -list` and `-dumpspec`
+// enumerate them, golden spec files pin their names, and spec
+// compilation resolves through them. That only stays deterministic if
+// registration happens once, at package initialization, under
+// compile-time-constant names that never collide:
+//
+//   - a Register* call outside init context can run twice, race with
+//     sweeps, or never run at all depending on call order;
+//   - a computed name makes -list output depend on runtime state;
+//   - a duplicate name makes one registrant silently shadow (or panic
+//     over) another.
+//
+// Calls inside functions themselves named Register* are exempt — they
+// are forwarders (the root facade re-exports), and their own call
+// sites are checked instead.
+var RegistryAnalyzer = &Analyzer{
+	Name: "registry",
+	Doc: "require Register* calls to run from init/package-var context with unique compile-time-" +
+		"constant names, so -list/-dumpspec registries are deterministic",
+	SkipTestFiles: true,
+	RunModule:     runRegistry,
+}
+
+func runRegistry(pass *ModulePass) {
+	type regSite struct {
+		call *ast.CallExpr
+		pkg  *Package
+		key  string // callee "pkgpath.Func"
+		name string // constant name argument, "" if dynamic
+	}
+	var sites []regSite
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pass.FilesOf(pkg) {
+			for _, decl := range f.Decls {
+				var enclosing *ast.FuncDecl
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					enclosing = fd
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := registerCallee(pkg, call)
+					if callee == nil {
+						return true
+					}
+					inInit := enclosing == nil || enclosing.Name.Name == "init"
+					forwarder := enclosing != nil && strings.HasPrefix(enclosing.Name.Name, "Register")
+					if !inInit && !forwarder {
+						pass.Reportf(call.Pos(), "%s called outside init/package-var context (in %s); "+
+							"registries must be fully populated at package initialization so -list and "+
+							"spec resolution are deterministic", callee.Name(), enclosing.Name.Name)
+					}
+					name, isConst := constantString(pkg, call.Args[0])
+					if !isConst {
+						if !forwarder {
+							pass.Reportf(call.Args[0].Pos(), "%s name argument is not a compile-time constant; "+
+								"computed registry names make -list output depend on runtime state", callee.Name())
+						}
+						return true
+					}
+					key := callee.Name()
+					if callee.Pkg() != nil {
+						key = callee.Pkg().Path() + "." + callee.Name()
+					}
+					sites = append(sites, regSite{call, pkg, key, name})
+					return true
+				})
+			}
+		}
+	}
+	first := map[string]bool{}
+	for _, s := range sites {
+		k := s.key + "\x00" + s.name
+		if first[k] {
+			pass.Reportf(s.call.Pos(), "duplicate registration: %s already has an entry named %q; "+
+				"one registrant shadows the other", s.key, s.name)
+			continue
+		}
+		first[k] = true
+	}
+}
+
+// registerCallee resolves a call to a registration function: named
+// Register*, first parameter of string type. Returns nil for anything
+// else (sim.RegisterFire takes a callback first and is a kernel API,
+// not a registry).
+func registerCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pkg.TypesInfo.Uses[id].(*types.Func)
+	if !ok || !strings.HasPrefix(fn.Name(), "Register") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || len(call.Args) == 0 {
+		return nil
+	}
+	if !isStringType(sig.Params().At(0).Type()) {
+		return nil
+	}
+	return fn
+}

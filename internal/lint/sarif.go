@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF emission (Static Analysis Results Interchange Format 2.1.0),
+// the minimal subset code-review UIs consume: one run, one driver named
+// vmprovlint, one reportingDescriptor per analyzer, and one result per
+// diagnostic with a physical location. Paths are emitted relative to
+// the module root so the log is portable across checkouts.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log. analyzers
+// populates the rule table (pass the set that ran, found something or
+// not, so rule metadata is stable); root relativizes file paths.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "vmprovlint", Rules: rules}}, Results: results}},
+	})
+}

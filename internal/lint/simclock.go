@@ -33,8 +33,9 @@ var SimClockAnalyzer = &Analyzer{
 	Name: "simclock",
 	Doc: "forbid wall-clock time (time.Now/Since/Sleep, Timer/Ticker construction) in simulation packages; " +
 		"simulated time must come from the kernel clock",
-	AppliesTo: pathGate("sim", "app", "provision", "workload", "fault",
-		"experiment", "metrics", "queueing", "forecast", "fluid", "mpc"),
+	AppliesTo: withModuleRoot(pathGate("sim", "app", "provision", "workload", "fault",
+		"experiment", "metrics", "queueing", "forecast", "fluid", "mpc",
+		"composite", "sla")),
 	SkipTestFiles: true,
 	Run:           runSimClock,
 }

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// SpecStrictAnalyzer guards the declarative spec layer's strictness
+// contract. Every scenario, panel, workload, and fault configuration
+// enters the system as JSON; the whole point of the spec layer is that
+// a typo'd field or a stale knob FAILS the parse instead of being
+// silently dropped (and a committed golden spec proves the round
+// trip). Three invariants, all of which have quietly rotted in other
+// codebases:
+//
+//   - every json.Decoder constructed in a spec-parsing package calls
+//     DisallowUnknownFields before decoding, so unknown keys are
+//     errors, not no-ops;
+//   - every exported field of a *Spec struct carries an explicit json
+//     tag, so the wire name is chosen, not inherited from a Go rename;
+//   - every Validate() error method declared on a spec-layer type is
+//     actually called somewhere in the module — an unreachable
+//     Validate means a registry Build path skips validation entirely.
+var SpecStrictAnalyzer = &Analyzer{
+	Name: "specstrict",
+	Doc: "spec-layer strictness: json.Decoder must DisallowUnknownFields, *Spec struct fields must " +
+		"carry json tags, and every spec-layer Validate() must be reachable",
+	SkipTestFiles: true,
+	RunModule:     runSpecStrict,
+}
+
+// specParsePath matches the packages whose decoders parse user-facing
+// specs and traces (plus the CLI front end that feeds them).
+var specParsePath = regexp.MustCompile(`(^|/)(internal/(workload|experiment|trace|fault)|cmd/vmprovsim)(/|$)|^vmprov$`)
+
+// specTypePath matches the packages whose *Spec structs and Validate
+// methods form the spec layer.
+var specTypePath = regexp.MustCompile(`(^|/)internal/(workload|experiment|trace|fault|fluid|mpc|provision|cloud)(/|$)|^vmprov$`)
+
+func runSpecStrict(pass *ModulePass) {
+	type validateDecl struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+		key  string // "pkgpath.TypeName"
+	}
+	var declared []validateDecl
+	reached := map[string]bool{}
+
+	for _, pkg := range pass.Pkgs {
+		inParse := specParsePath.MatchString(pkg.Path)
+		inSpec := specTypePath.MatchString(pkg.Path)
+		for _, f := range pass.FilesOf(pkg) {
+			if inParse {
+				checkDecoderStrictness(pass, pkg, f)
+			}
+			if inSpec {
+				checkSpecStructTags(pass, pkg, f)
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || !isValidateMethod(pkg, fd) {
+						continue
+					}
+					if key := recvTypeKey(pkg, fd); key != "" {
+						declared = append(declared, validateDecl{pkg, fd, key})
+					}
+				}
+			}
+			// Call sites count from anywhere in the module, including
+			// other Validate methods (Scenario.Validate fans out to its
+			// sub-specs).
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Validate" {
+					return true
+				}
+				if key := typeKey(pkg.TypesInfo.TypeOf(sel.X)); key != "" {
+					reached[key] = true
+				}
+				return true
+			})
+		}
+	}
+
+	sort.Slice(declared, func(i, j int) bool { return declared[i].key < declared[j].key })
+	for _, d := range declared {
+		if reached[d.key] {
+			continue
+		}
+		pass.Reportf(d.decl.Name.Pos(), "%s.Validate is never called anywhere in the module; "+
+			"an unreachable Validate means specs of this type are built without validation — wire it "+
+			"into the registry's Build path", d.key)
+	}
+}
+
+// checkDecoderStrictness flags json.NewDecoder uses in spec-parsing
+// packages that never call DisallowUnknownFields on the decoder.
+func checkDecoderStrictness(pass *ModulePass, pkg *Package, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		// Decoder variables assigned from json.NewDecoder, and the set of
+		// objects DisallowUnknownFields is called on.
+		ctorPos := map[types.Object]ast.Node{}
+		strict := map[types.Object]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !isJSONNewDecoder(pkg, rhs) || i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := identObject(pkg, id); obj != nil {
+							ctorPos[obj] = rhs
+						}
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if sel.Sel.Name == "DisallowUnknownFields" {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						if obj := identObject(pkg, id); obj != nil {
+							strict[obj] = true
+						}
+					}
+				}
+				// Chained use without a variable: json.NewDecoder(r).Decode(&v)
+				// can never be strict.
+				if isJSONNewDecoder(pkg, sel.X) && sel.Sel.Name != "DisallowUnknownFields" {
+					pass.Reportf(n.Pos(), "json.NewDecoder chained into %s without DisallowUnknownFields; "+
+						"unknown spec fields would be silently dropped — bind the decoder and make it strict",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+		for obj, site := range ctorPos {
+			if !strict[obj] {
+				pass.Reportf(site.Pos(), "json.Decoder %s never calls DisallowUnknownFields; "+
+					"unknown spec fields would be silently dropped instead of failing the parse", obj.Name())
+			}
+		}
+	}
+}
+
+// checkSpecStructTags flags exported fields of *Spec structs that lack
+// an explicit json tag.
+func checkSpecStructTags(pass *ModulePass, pkg *Package, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !strings.HasSuffix(ts.Name.Name, "Spec") || !ts.Name.IsExported() {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				hasTag := false
+				if field.Tag != nil {
+					tag := strings.Trim(field.Tag.Value, "`")
+					if _, ok := reflect.StructTag(tag).Lookup("json"); ok {
+						hasTag = true
+					}
+				}
+				if hasTag {
+					continue
+				}
+				for _, id := range field.Names {
+					if !id.IsExported() {
+						continue
+					}
+					pass.Reportf(id.Pos(), "spec field %s.%s has no json tag; "+
+						"the wire name silently tracks the Go identifier — tag it explicitly",
+						ts.Name.Name, id.Name)
+				}
+			}
+		}
+	}
+}
+
+// isJSONNewDecoder reports whether the expression is a call to
+// encoding/json.NewDecoder.
+func isJSONNewDecoder(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewDecoder" {
+		return false
+	}
+	return packageRef(pkg.TypesInfo, sel.X) == "encoding/json"
+}
+
+// identObject resolves an identifier to its object, whether the
+// identifier defines or uses it.
+func identObject(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.TypesInfo.Uses[id]
+}
+
+// isValidateMethod reports whether the declaration is a Validate()
+// error method.
+func isValidateMethod(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Validate" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	if fd.Type.Params.NumFields() != 0 || fd.Type.Results.NumFields() != 1 {
+		return false
+	}
+	rt := pkg.TypesInfo.TypeOf(fd.Type.Results.List[0].Type)
+	return rt != nil && types.Identical(rt, types.Universe.Lookup("error").Type())
+}
+
+// recvTypeKey returns "pkgpath.TypeName" for a method's receiver type.
+func recvTypeKey(pkg *Package, fd *ast.FuncDecl) string {
+	name := recvTypeName(fd)
+	if name == "" {
+		return ""
+	}
+	return pkg.Path + "." + name
+}
+
+// typeKey renders a (possibly pointer) named type as "pkgpath.Name";
+// cross-package identity is by path because source-checked and
+// export-data-imported type objects differ.
+func typeKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// SplitKeyAnalyzer enforces RNG substream discipline module-wide.
+// Every component derives its randomness with rng.Split(label): the
+// substream is a pure function of (seed, label), so two call sites that
+// reuse a label silently share one stream and their draws interleave —
+// exactly the coupling the substream design exists to prevent, and the
+// kind of bug that only shows up as a golden diff three PRs later. The
+// analyzer requires
+//
+//   - every Split argument to be a compile-time string constant, so
+//     the substream map of the program is readable from the source
+//     (dynamic labels — per-client cohorts, per-zone domains — are
+//     legitimate but must be visible: suppress with //vmprov:allow
+//     splitkey -- <reason> and keep uniqueness by construction);
+//   - every constant label to be unique across the module;
+//   - no Split argument or enclosing condition to consume draws from
+//     another substream (a label or derivation conditioned on data from
+//     a sibling stream couples the two streams' histories).
+var SplitKeyAnalyzer = &Analyzer{
+	Name: "splitkey",
+	Doc: "require rng.Split labels to be compile-time constants, globally unique, and never derived " +
+		"from or conditioned on another substream's draws",
+	SkipTestFiles: true,
+	RunModule:     runSplitKey,
+}
+
+func runSplitKey(pass *ModulePass) {
+	firstByLabel := map[string]*Package{}
+	// Pass 1: collect constant labels in deterministic package order so
+	// the "first use" in a duplicate report is stable.
+	type constSite struct {
+		pkg  *Package
+		call *ast.CallExpr
+		lab  string
+	}
+	var sites []constSite
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pass.FilesOf(pkg) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isRNGSplit(pkg, call) {
+					return true
+				}
+				arg := call.Args[0]
+				if lab, ok := constantString(pkg, arg); ok {
+					sites = append(sites, constSite{pkg, call, lab})
+				} else {
+					pass.Reportf(call.Pos(), "rng.Split label is not a compile-time constant; "+
+						"dynamic labels hide the program's substream map — use a constant, or suppress "+
+						"with a reason if uniqueness holds by construction (per-client/per-zone labels)")
+				}
+				if rngDrawIn(pkg, arg) {
+					pass.Reportf(call.Pos(), "rng.Split label consumes a draw from an RNG; "+
+						"deriving one substream from another's output couples their histories")
+				}
+				return true
+			})
+			// Conditional derivation: a Split inside an if/switch/for whose
+			// condition draws from an RNG.
+			flagConditionalSplits(pass, pkg, f)
+		}
+	}
+	for _, s := range sites {
+		if prev, ok := firstByLabel[s.lab]; ok {
+			pass.Reportf(s.call.Pos(), "rng.Split label %q is already used in package %s; "+
+				"reusing a label yields the same substream at both sites and couples their draws",
+				s.lab, prev.Path)
+			continue
+		}
+		firstByLabel[s.lab] = s.pkg
+	}
+}
+
+// isRNGSplit reports whether the call is label-based substream
+// derivation: a method named Split on a named type RNG (matched by name
+// so fixtures can declare their own stand-in), taking a string label.
+func isRNGSplit(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Split" || len(call.Args) != 1 {
+		return false
+	}
+	if !isRNGType(pkg.TypesInfo.TypeOf(sel.X)) {
+		return false
+	}
+	at := pkg.TypesInfo.TypeOf(call.Args[0])
+	return at != nil && at.Underlying() != nil && isStringType(at)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isRNGType reports whether t (possibly a pointer) is a named type
+// called RNG.
+func isRNGType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "RNG"
+}
+
+// constantString resolves an expression to its compile-time string
+// value.
+func constantString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// rngDrawIn reports whether the expression contains a method call on an
+// RNG value other than Split itself (i.e. it consumes a draw).
+func rngDrawIn(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name == "Split" {
+			return true
+		}
+		if isRNGType(pkg.TypesInfo.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// flagConditionalSplits reports Split calls that execute under a
+// condition which itself draws from an RNG: it collects the body ranges
+// of every if/switch/for whose condition consumes a draw, then flags
+// any Split call landing inside one.
+func flagConditionalSplits(pass *ModulePass, pkg *Package, f *ast.File) {
+	type span struct{ lo, hi token.Pos }
+	var tainted []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Cond != nil && rngDrawIn(pkg, n.Cond) {
+				tainted = append(tainted, span{n.Body.Pos(), n.End()})
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && rngDrawIn(pkg, n.Tag) {
+				tainted = append(tainted, span{n.Body.Pos(), n.End()})
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && rngDrawIn(pkg, n.Cond) {
+				tainted = append(tainted, span{n.Body.Pos(), n.End()})
+			}
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isRNGSplit(pkg, call) {
+			return true
+		}
+		for _, s := range tainted {
+			if call.Pos() >= s.lo && call.Pos() < s.hi {
+				pass.Reportf(call.Pos(), "rng.Split executes conditionally on another substream's draw; "+
+					"whether this substream exists now depends on a sibling stream's history")
+				break
+			}
+		}
+		return true
+	})
+}

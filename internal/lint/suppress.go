@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"sort"
 	"strings"
 )
 
@@ -52,13 +53,16 @@ func parseAllowances(pkg *Package, f *ast.File) map[int][]allowance {
 	return out
 }
 
-// filterSuppressed drops diagnostics covered by an allow comment on the
-// same line or the line directly above.
-func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+// filterSuppressedAll drops diagnostics covered by an allow comment on
+// the same line or the line directly above, across the whole loaded
+// package set (module analyzers report into any package's files).
+func filterSuppressedAll(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	byFile := map[string]map[int][]allowance{}
-	for _, f := range pkg.Syntax {
-		name := pkg.Fset.Position(f.Pos()).Filename
-		byFile[name] = parseAllowances(pkg, f)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			byFile[name] = parseAllowances(pkg, f)
+		}
 	}
 	out := diags[:0]
 	for _, d := range diags {
@@ -77,4 +81,86 @@ func suppressed(allow map[int][]allowance, d Diagnostic) bool {
 		}
 	}
 	return false
+}
+
+// AllowanceSite is one //vmprov:allow comment in the loaded source,
+// exported for the stale-suppression audit: a site is live only if the
+// raw (pre-suppression) run produces at least one finding it covers.
+type AllowanceSite struct {
+	File      string
+	Line      int      // line the comment sits on; it also covers Line+1
+	Analyzers []string // sorted
+}
+
+// Allowances collects every well-formed //vmprov:allow comment across
+// the loaded packages, ordered by position.
+func Allowances(pkgs []*Package) []AllowanceSite {
+	var out []AllowanceSite
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			seen := map[int]bool{}
+			for line, as := range parseAllowances(pkg, f) {
+				for _, a := range as {
+					if a.line != line || seen[line] {
+						continue // entries are doubled onto line+1
+					}
+					seen[line] = true
+					names := make([]string, 0, len(a.analyzers))
+					for n := range a.analyzers {
+						names = append(names, n)
+					}
+					sort.Strings(names)
+					out = append(out, AllowanceSite{
+						File:      pkg.Fset.Position(f.Pos()).Filename,
+						Line:      line,
+						Analyzers: names,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// Covers reports whether the allowance suppresses the diagnostic.
+func (s AllowanceSite) Covers(d Diagnostic) bool {
+	if d.Pos.Filename != s.File {
+		return false
+	}
+	if d.Pos.Line != s.Line && d.Pos.Line != s.Line+1 {
+		return false
+	}
+	for _, n := range s.Analyzers {
+		if n == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ephemeralPrefix marks a struct field the snapshotfield analyzer must
+// not require coverage for. The full form is
+//
+//	//vmprov:ephemeral -- <reason>
+//
+// on the field's own line, its doc comment, or the line directly above.
+// Like allow comments, the reason after " -- " is mandatory.
+const ephemeralPrefix = "vmprov:ephemeral"
+
+// isEphemeralComment reports whether one comment is a well-formed
+// ephemeral opt-out (reason present).
+func isEphemeralComment(c *ast.Comment) bool {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, ephemeralPrefix) {
+		return false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ephemeralPrefix))
+	_, reason, found := strings.Cut(rest, "--")
+	return found && strings.TrimSpace(reason) != ""
 }

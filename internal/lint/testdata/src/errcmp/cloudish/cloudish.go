@@ -1,0 +1,19 @@
+package cloudish
+
+import "errors"
+
+// NilPresence pins the nil exemption: a sentinel checked against nil is
+// a presence test, not identity matching.
+func NilPresence() bool {
+	return ErrZoneDark != nil
+}
+
+// AsTarget pins the errors.As exemption: identity on a variable that
+// errors.As populated is exact by design — As already unwrapped.
+func AsTarget(err error) bool {
+	var target wrapped
+	if errors.As(err, &target) {
+		return target == ErrZoneDark
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+// Package reg is the registry fixture: Register* call hygiene.
+package reg
+
+var registry = map[string]func(){}
+
+// Register is the registration entry point the analyzer recognizes:
+// named Register*, first parameter a string.
+func Register(name string, build func()) bool {
+	registry[name] = build
+	return true
+}
+
+// RegisterScenario is a forwarder — itself named Register*, so its body
+// is exempt and its own call sites are checked instead.
+func RegisterScenario(name string, build func()) {
+	Register(name, build)
+}
+
+// init-context registrations: legal.
+func init() {
+	Register("web", func() {})
+	RegisterScenario("sci", func() {})
+}
+
+// Package-var context: legal.
+var _ = Register("batch", func() {})
+
+const dupName = "web"
+
+func init() {
+	Register(dupName, func() {}) // want `duplicate registration: registry/reg\.Register already has an entry named "web"`
+}
+
+func computed() string { return "late" }
+
+// Setup registers outside init context with a computed name: both are
+// flagged.
+func Setup() {
+	Register("runtime", func() {})  // want `Register called outside init/package-var context \(in Setup\)`
+	Register(computed(), func() {}) // want `Register called outside init/package-var context \(in Setup\)` `Register name argument is not a compile-time constant`
+}
+
+// Allowed documents the escape hatch for a deliberate late registration
+// (e.g. a test harness installing a probe).
+func Allowed() {
+	//vmprov:allow registry -- fixture: deliberate late registration
+	Register("probe", func() {})
+}
+
+// notRegister is a false-positive guard: first parameter is not a
+// string, so the call is not a registration.
+func RegisterFire(f func(), name string) {}
+
+func Kernel() {
+	RegisterFire(func() {}, "tick") // not a registry call: no finding
+}

@@ -1,0 +1,13 @@
+// Package plain is the snapshotfield false-positive guard: the package
+// path is outside the analyzer's gate, so even a blatantly incomplete
+// snapshot pair reports nothing.
+package plain
+
+type Gauge struct {
+	value int
+	slack int // uncovered and mutated, but out of gate: no finding
+}
+
+func (g *Gauge) Set(v int)       { g.value = v; g.slack = v / 2 }
+func (g *Gauge) Snapshot(s *int) { *s = g.value }
+func (g *Gauge) Restore(s *int)  { g.value = *s }

@@ -1,0 +1,59 @@
+// Package experiment is the specstrict fixture: decoder strictness,
+// spec struct tags, and Validate reachability. The directory path puts
+// it inside both the spec-parsing and spec-type gates.
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// PanelSpec exercises the tag check: one tagged field, one untagged
+// exported field, one unexported field (exempt).
+type PanelSpec struct {
+	Name string `json:"name"`
+	Reps int    // want `spec field PanelSpec\.Reps has no json tag`
+	seed uint64
+}
+
+// Validate is reached from Parse below: no finding.
+func (ps PanelSpec) Validate() error { return nil }
+
+// OrphanSpec's Validate is declared but never called anywhere.
+type OrphanSpec struct {
+	Kind string `json:"kind"`
+}
+
+func (o OrphanSpec) Validate() error { return nil } // want `specstrict/internal/experiment\.OrphanSpec\.Validate is never called anywhere in the module`
+
+// Parse is the strict decode path: no findings.
+func Parse(r io.Reader) (PanelSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var ps PanelSpec
+	if err := dec.Decode(&ps); err != nil {
+		return PanelSpec{}, err
+	}
+	return ps, ps.Validate()
+}
+
+// LooseParse binds a decoder and never makes it strict.
+func LooseParse(r io.Reader) (PanelSpec, error) {
+	dec := json.NewDecoder(r) // want `json\.Decoder dec never calls DisallowUnknownFields`
+	var ps PanelSpec
+	err := dec.Decode(&ps)
+	return ps, err
+}
+
+// Chained decodes straight off the constructor: can never be strict.
+func Chained(r io.Reader, v *PanelSpec) error {
+	return json.NewDecoder(r).Decode(v) // want `json\.NewDecoder chained into Decode without DisallowUnknownFields`
+}
+
+// Allowed documents the escape hatch: a deliberately tolerant decoder
+// (e.g. parsing third-party tool output, not a spec).
+func Allowed(r io.Reader, v *PanelSpec) error {
+	//vmprov:allow specstrict -- fixture: tolerant decode of third-party output
+	dec := json.NewDecoder(r)
+	return dec.Decode(v)
+}

@@ -1,0 +1,21 @@
+// Package plain is the specstrict false-positive guard: the package
+// path is outside both spec gates, so a loose decoder, an untagged
+// *Spec struct, and an uncalled Validate all pass.
+package plain
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type ToolSpec struct {
+	Name string // untagged, but out of gate: no finding
+}
+
+func (t ToolSpec) Validate() error { return nil } // never called, but out of gate
+
+func Read(r io.Reader) (ToolSpec, error) {
+	var t ToolSpec
+	err := json.NewDecoder(r).Decode(&t) // loose, but out of gate
+	return t, err
+}

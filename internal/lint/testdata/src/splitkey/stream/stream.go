@@ -1,0 +1,71 @@
+// Package stream is the splitkey fixture: rng.Split label discipline.
+// RNG is a stand-in for internal/stats.RNG — the analyzer matches the
+// Split method on any named type RNG, so fixtures need not import the
+// real package.
+package stream
+
+// RNG is the substream stand-in.
+type RNG struct{ kids []*RNG }
+
+func (r *RNG) Split(label string) *RNG {
+	k := &RNG{}
+	r.kids = append(r.kids, k)
+	return k
+}
+
+func (r *RNG) IntN(n int) int   { return n - 1 }
+func (r *RNG) Float64() float64 { return 0.5 }
+
+const serviceLabel = "service"
+
+// Wire exercises the legal shapes: unique compile-time-constant labels,
+// including one spelled through a named constant.
+func Wire(r *RNG) (*RNG, *RNG) {
+	arr := r.Split("arrivals")
+	svc := r.Split(serviceLabel)
+	return arr, svc
+}
+
+// Duplicate reuses a constant label already claimed by Wire.
+func Duplicate(r *RNG) *RNG {
+	return r.Split("arrivals") // want `rng\.Split label "arrivals" is already used in package splitkey/stream`
+}
+
+// Dynamic derives the label at runtime.
+func Dynamic(r *RNG, name string) *RNG {
+	return r.Split("client:" + name) // want `rng\.Split label is not a compile-time constant`
+}
+
+// pick maps a draw to a label.
+func pick(n int) string {
+	if n == 0 {
+		return "left"
+	}
+	return "right"
+}
+
+// DrawDerived derives the label from another substream's draw: flagged
+// both as non-constant and as consuming a draw.
+func DrawDerived(r, other *RNG) *RNG {
+	return r.Split(pick(other.IntN(2))) // want `rng\.Split label is not a compile-time constant` `rng\.Split label consumes a draw from an RNG`
+}
+
+// Conditional splits under a condition that itself draws: whether the
+// substream exists depends on a sibling stream's history.
+func Conditional(r, other *RNG) *RNG {
+	if other.Float64() < 0.5 {
+		return r.Split("conditional") // want `rng\.Split executes conditionally on another substream's draw`
+	}
+	return nil
+}
+
+// Allowed documents the escape hatch for by-construction-unique dynamic
+// labels.
+func Allowed(r *RNG, zone int) *RNG {
+	lab := "zone:a"
+	if zone > 0 {
+		lab = "zone:b"
+	}
+	//vmprov:allow splitkey -- fixture: per-zone label, unique by construction
+	return r.Split(lab)
+}

@@ -1,0 +1,165 @@
+package lint
+
+// Tests for the v2 whole-program suite: fixtures for the four new
+// analyzers, the seeded-bug check proving snapshotfield catches an
+// uncovered field, per-analyzer determinism, and the stale-suppression
+// audit that keeps //vmprov:allow comments honest.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotFieldAnalyzer(t *testing.T) {
+	runFixture(t, SnapshotFieldAnalyzer, "snapshotfield/internal/sim")
+	// False-positive guard: out-of-gate packages report nothing.
+	runFixture(t, SnapshotFieldAnalyzer, "snapshotfield/plain")
+}
+
+func TestSplitKeyAnalyzer(t *testing.T) {
+	runFixture(t, SplitKeyAnalyzer, "splitkey/stream")
+}
+
+func TestSpecStrictAnalyzer(t *testing.T) {
+	runFixture(t, SpecStrictAnalyzer, "specstrict/internal/experiment")
+	// False-positive guard: out-of-gate packages report nothing.
+	runFixture(t, SpecStrictAnalyzer, "specstrict/plain")
+}
+
+func TestRegistryAnalyzer(t *testing.T) {
+	runFixture(t, RegistryAnalyzer, "registry/reg")
+}
+
+// seededBase is the template for the seeded-bug check: a type whose
+// snapshot pair fully covers its fields, with slots to inject one more
+// field and one more mutation.
+const seededBase = `package sim
+
+type Acc struct {
+	sum float64
+	%s
+}
+
+func (a *Acc) Add(v float64) {
+	a.sum += v
+	%s
+}
+
+type AccSnap struct{ Sum float64 }
+
+func (a *Acc) Snapshot(s *AccSnap) { s.Sum = a.sum }
+func (a *Acc) Restore(s *AccSnap)  { a.sum = s.Sum }
+`
+
+func runSeeded(t *testing.T, field, mutation string) []Diagnostic {
+	t.Helper()
+	imp := fixtureImporter(t)
+	src := fmt.Sprintf(seededBase, field, mutation)
+	f, err := parser.ParseFile(fixtureFset, "seeded_sim.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := typeCheck(fixtureFset, "seeded/internal/sim", []*ast.File{f}, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run([]*Analyzer{SnapshotFieldAnalyzer}, pkg)
+}
+
+// TestSnapshotFieldCatchesSeededBug is the acceptance check for the
+// analyzer's purpose: adding a mutated field to a type WITHOUT touching
+// its snapshot pair must produce findings on both sides, and the
+// original complete type must stay clean.
+func TestSnapshotFieldCatchesSeededBug(t *testing.T) {
+	if diags := runSeeded(t, "", ""); len(diags) != 0 {
+		t.Fatalf("complete snapshot pair reported findings: %v", diags)
+	}
+	diags := runSeeded(t, "lost int", "a.lost++")
+	if len(diags) != 2 {
+		t.Fatalf("seeded uncovered field: got %d findings, want 2 (Snapshot and Restore): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "Acc.lost") {
+			t.Errorf("finding does not name the seeded field: %s", d)
+		}
+	}
+}
+
+// The module-wide tests share one load of the real tree.
+var (
+	moduleOnce sync.Once
+	modulePkgs []*Package
+	moduleErr  error
+)
+
+func loadModule(t *testing.T) []*Package {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("loads and lints the full module; skipped in -short")
+	}
+	moduleOnce.Do(func() { modulePkgs, moduleErr = Load([]string{"vmprov/..."}) })
+	if moduleErr != nil {
+		t.Fatal(moduleErr)
+	}
+	return modulePkgs
+}
+
+// TestTreeIsCleanV2 runs the full v2 suite — package and module
+// analyzers — over the real module, the same gate as make lint, so a
+// violation anywhere in the tree fails go test even where CI scripts
+// diverge. It supersedes v1's TestTreeIsClean.
+func TestTreeIsCleanV2(t *testing.T) {
+	pkgs := loadModule(t)
+	for _, d := range RunPackages(Analyzers(), pkgs) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAnalyzersAreDeterministic runs every analyzer twice over the same
+// loaded packages and requires byte-identical findings in identical
+// order — the suite's own bit-identity contract.
+func TestAnalyzersAreDeterministic(t *testing.T) {
+	pkgs := loadModule(t)
+	for _, a := range Analyzers() {
+		first := renderDiags(RunRaw([]*Analyzer{a}, pkgs))
+		second := renderDiags(RunRaw([]*Analyzer{a}, pkgs))
+		if first != second {
+			t.Errorf("analyzer %s is nondeterministic:\n--- first\n%s--- second\n%s", a.Name, first, second)
+		}
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestSuppressionsHaveLiveFindings is the stale-allow audit: every
+// //vmprov:allow comment in the tree must cover at least one finding of
+// the raw (pre-suppression) run. A suppression whose finding has been
+// fixed or moved is rot — it silently licenses a future violation.
+func TestSuppressionsHaveLiveFindings(t *testing.T) {
+	pkgs := loadModule(t)
+	raw := RunRaw(Analyzers(), pkgs)
+	for _, site := range Allowances(pkgs) {
+		live := false
+		for _, d := range raw {
+			if site.Covers(d) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			t.Errorf("%s:%d: stale //vmprov:allow %v — no live finding under it; delete the comment",
+				site.File, site.Line, site.Analyzers)
+		}
+	}
+}

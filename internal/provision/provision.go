@@ -188,8 +188,8 @@ type Provisioner struct {
 	activeFree  int
 
 	// Scratch buffers reused across scale-down decisions.
-	scratchIdle []*app.Instance
-	scratchBusy []*app.Instance
+	scratchIdle []*app.Instance //vmprov:ephemeral -- scratch buffer, rebuilt from scratch every decision
+	scratchBusy []*app.Instance //vmprov:ephemeral -- scratch buffer, rebuilt from scratch every decision
 
 	// CapacityShortfalls counts scale-up attempts the data center could
 	// not satisfy (ErrNoCapacity or the MaxVMs ceiling).
@@ -201,7 +201,7 @@ type Provisioner struct {
 	// capped exponential backoff. repairT holds the open crash-repair
 	// episodes (crash times awaiting a replacement activation) feeding
 	// the MTTR metric.
-	fm           FaultModel
+	fm           FaultModel //vmprov:ephemeral -- environment wiring set before the run via SetFaultModel; the injector snapshots its own state
 	retry        RetryPolicy
 	retryEv      sim.Event
 	retryBackoff float64
@@ -212,27 +212,28 @@ type Provisioner struct {
 	// resilience.go). zp is the provider's zone view, breakers holds one
 	// circuit breaker per zone, zoneCur rotates placement across healthy
 	// zones, and shedClasses enables degraded-mode admission.
-	zp             cloud.ZonedProvider
-	zones          int
-	zoneCur        int
-	breakers       []breaker
-	brk            BreakerPolicy
-	shedClasses    int
-	scratchVictims []*app.Instance // reused across correlated-crash sweeps
+	zp          cloud.ZonedProvider
+	zones       int
+	zoneCur     int
+	breakers    []breaker
+	brk         BreakerPolicy
+	shedClasses int
+	// scratchVictims is reused across correlated-crash sweeps.
+	scratchVictims []*app.Instance //vmprov:ephemeral -- scratch buffer, rebuilt every sweep
 
 	// onServed, when set, observes every completion after the built-in
 	// accounting — the hook composite pipelines chain stages with.
-	onServed func(app.Completion)
+	onServed func(app.Completion) //vmprov:ephemeral -- observer wiring set before the run, not replication state
 	// onRejected, when set, observes every request terminated by
 	// admission control or displacement.
-	onRejected func(workload.Request)
+	onRejected func(workload.Request) //vmprov:ephemeral -- observer wiring set before the run, not replication state
 	// onFleetChange, when set, is notified after every fleet transition —
 	// scaling decisions, activations, crashes, retirements. The hybrid
 	// fast-forward engine uses it to fall back to exact simulation around
 	// transitions.
-	onFleetChange func()
+	onFleetChange func() //vmprov:ephemeral -- observer wiring set before the run, not replication state
 	// tracer, when set, receives structured lifecycle events.
-	tracer trace.Recorder
+	tracer trace.Recorder //vmprov:ephemeral -- observer wiring set before the run, not replication state
 }
 
 // NewProvisioner wires a provisioner to a simulator, a VM provider (a

@@ -417,7 +417,9 @@ func (rs *RenewalSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 	if label == "" {
 		label = "renewal"
 	}
+	//vmprov:allow splitkey -- per-client labels; unique because client names are validated unique
 	arr := r.Split(label + "/arrivals")
+	//vmprov:allow splitkey -- per-client labels; unique because client names are validated unique
 	svc := r.Split(label + "/service")
 	gap := func() float64 {
 		rate := rs.MeanRate(s.Now())
@@ -539,6 +541,7 @@ func (m *MultiSource) Start(s *sim.Sim, r *stats.RNG, emit func(Request)) {
 		c := &m.clients[i]
 		cr := r
 		if !single {
+			//vmprov:allow splitkey -- per-client substreams; unique because client names are validated unique
 			cr = r.Split("client:" + c.info.Name)
 		}
 		name, class := c.info.Name, c.class
